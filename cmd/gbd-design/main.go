@@ -1,0 +1,175 @@
+// Command gbd-design runs the complete deployment-design workflow for a
+// surveillance scenario: size the fleet for a detection requirement, pick
+// the report threshold from a false alarm budget, audit coverage voids and
+// breach corridors, verify multi-hop delivery, and report parameter
+// sensitivities — everything a system designer needs before committing to
+// hardware.
+//
+// Usage:
+//
+//	gbd-design [flags]
+//
+// Example:
+//
+//	gbd-design -target 0.9 -fa 1e-4 -budget 0.01 -horizon 1440
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gbd-design:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gbd-design", flag.ContinueOnError)
+	var (
+		side      = fs.Float64("side", 32000, "field side length (m)")
+		rs        = fs.Float64("rs", 1000, "sensing range (m)")
+		v         = fs.Float64("v", 10, "design target speed (m/s)")
+		period    = fs.Duration("t", time.Minute, "sensing period")
+		pd        = fs.Float64("pd", 0.9, "in-range detection probability")
+		m         = fs.Int("m", 20, "detection window (periods)")
+		targetP   = fs.Float64("target", 0.9, "required detection probability")
+		nMax      = fs.Int("n-max", 1000, "largest fleet considered")
+		fa        = fs.Float64("fa", 1e-4, "per-sensor per-period false alarm probability")
+		budget    = fs.Float64("budget", 0.01, "system false-alarm budget over the horizon")
+		horizon   = fs.Int("horizon", 1440, "false-alarm horizon (periods)")
+		commRange = fs.Float64("comm", 6000, "communication range (m)")
+		perHop    = fs.Duration("hop", 10*time.Second, "per-hop forwarding latency")
+		seed      = fs.Int64("seed", 1, "random seed for deployment audits")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := gbd.Params{
+		N: 1, FieldSide: *side, Rs: *rs, V: *v, T: *period,
+		Pd: *pd, M: *m, K: 1,
+	}
+
+	// 1. Report threshold from the false alarm budget (needs N; iterate:
+	// K depends weakly on N through the union bound, so fix K after
+	// sizing with a provisional K, then re-size).
+	fmt.Printf("scenario: %.0f m field, Rs=%.0f m, V=%.1f m/s, t=%v, Pd=%.2f, M=%d\n",
+		p.FieldSide, p.Rs, p.V, p.T, p.Pd, p.M)
+
+	provisionalN := 120
+	k, err := gbd.MinK(p.WithN(provisionalN), *fa, *horizon, *budget)
+	if err != nil {
+		return err
+	}
+	p = p.WithK(k)
+	n, err := gbd.RequiredSensors(p, *targetP, *nMax, gbd.MSOptions{})
+	if err != nil {
+		return fmt.Errorf("sizing the fleet: %w", err)
+	}
+	// Re-check K at the sized fleet (more sensors emit more false alarms).
+	k2, err := gbd.MinK(p.WithN(n), *fa, *horizon, *budget)
+	if err != nil {
+		return err
+	}
+	if k2 != k {
+		p = p.WithK(k2)
+		n, err = gbd.RequiredSensors(p, *targetP, *nMax, gbd.MSOptions{})
+		if err != nil {
+			return fmt.Errorf("re-sizing the fleet for K=%d: %w", k2, err)
+		}
+		k = k2
+	}
+	p = p.WithN(n)
+	fmt.Printf("\nrule:  K = %d of M = %d (false-alarm budget %.2g over %d periods at Pf=%.0e)\n",
+		k, p.M, *budget, *horizon, *fa)
+	fmt.Printf("fleet: N = %d sensors (smallest meeting P[detect] >= %.2f)\n", n, *targetP)
+
+	ana, err := gbd.Analyze(p, gbd.MSOptions{})
+	if err != nil {
+		return err
+	}
+	cmp, err := gbd.Compare(p, 4000, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("check: analysis %.4f | simulation %.4f (CI [%.4f, %.4f])\n",
+		ana.DetectionProb, cmp.Simulation, cmp.CILo, cmp.CIHi)
+
+	// 2. Latency profile.
+	cdf, err := gbd.Latency(p, gbd.MSOptions{})
+	if err != nil {
+		return err
+	}
+	if med, ok := cdf.Quantile(ana.DetectionProb / 2); ok {
+		fmt.Printf("delay: half of eventual detections decided by period %d of %d\n", med, p.M)
+	}
+
+	// 3. Coverage audit on a concrete deployment.
+	rng := field.NewRand(*seed)
+	sensors, err := field.Uniform(p.N, geom.Square(p.FieldSide), rng)
+	if err != nil {
+		return err
+	}
+	cell := p.FieldSide / 128
+	covMap, err := gbd.NewCoverageMap(p, sensors, cell)
+	if err != nil {
+		return err
+	}
+	breach, err := covMap.MaximalBreach(p.Rs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncoverage: %.1f%% covered, void %.1f%%; worst corridor stays %.0f m from every sensor (evadable instantaneously: %v)\n",
+		100*covMap.Fraction(1), 100*covMap.VoidFraction(), breach.Distance, breach.Undetectable)
+
+	// 4. Communication audit.
+	center := geom.Point{X: p.FieldSide / 2, Y: p.FieldSide / 2}
+	base := 0
+	for i, s := range sensors {
+		if s.Dist(center) < sensors[base].Dist(center) {
+			base = i
+		}
+	}
+	net, err := netsim.New(sensors, *commRange, geom.Square(p.FieldSide))
+	if err != nil {
+		return err
+	}
+	stats, err := net.Delivery(base, *perHop, p.T)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comms:    %d components; %d/%d reachable; max %d hops; %d deliver within one period\n",
+		net.Components(), stats.Reachable, stats.Nodes, stats.MaxHops, stats.WithinBudget)
+
+	// 5. End-to-end confirmation.
+	sys, err := gbd.SimulateSystem(gbd.SystemConfig{
+		Params: p, CommRange: *commRange, PerHop: *perHop,
+		FalseAlarmP: *fa, Gated: true, Trials: 1000, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system:   end-to-end P[detect] = %.4f (delivered %.1f%% of reports, gated rule)\n",
+		sys.DetectionProb, 100*sys.DeliveredFrac)
+
+	// 6. Sensitivities.
+	sens, err := gbd.Sensitivities(p, gbd.MSOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nlevers (elasticity of P[detect]):")
+	for _, s := range sens {
+		fmt.Printf("  %-10s %+.3f\n", s.Param, s.Elasticity)
+	}
+	return nil
+}

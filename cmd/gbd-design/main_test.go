@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunDesignWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design workflow runs simulations; skipped in -short mode")
+	}
+	if err := run([]string{"-target", "0.7", "-n-max", "400"}); err != nil {
+		t.Errorf("design run: %v", err)
+	}
+}
+
+func TestRunDesignErrors(t *testing.T) {
+	cases := [][]string{
+		{"-target", "0.999999", "-n-max", "60"}, // unreachable requirement
+		{"-rs", "-1"},                           // invalid scenario
+		{"-nonsense"},                           // bad flag
+		{"-budget", "2"},                        // invalid budget
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

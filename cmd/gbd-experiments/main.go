@@ -1,0 +1,112 @@
+// Command gbd-experiments regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index) and prints them as text or CSV.
+//
+// Usage:
+//
+//	gbd-experiments [flags]
+//
+// Examples:
+//
+//	gbd-experiments                      # run everything at paper scale
+//	gbd-experiments -exp fig9a -quick    # one experiment, reduced sweep
+//	gbd-experiments -csv -out results/   # write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gbd-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+var runners = map[string]func(experiments.Options) (*experiments.Table, error){
+	"fig8":        experiments.Fig8,
+	"fig9a":       experiments.Fig9a,
+	"fig9b":       experiments.Fig9b,
+	"fig9c":       experiments.Fig9c,
+	"timing":      experiments.Timing,
+	"extension":   experiments.ExtensionH,
+	"kmin":        experiments.KMinTable,
+	"boundary":    experiments.Boundary,
+	"comm":        experiments.CommCheck,
+	"latency":     experiments.Latency,
+	"tapproach":   experiments.TApproachExplosion,
+	"coverage":    experiments.Coverage,
+	"endtoend":    experiments.EndToEnd,
+	"sensitivity": experiments.Sensitivities,
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gbd-experiments", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment id (fig8, fig9a, fig9b, fig9c, timing, extension, kmin, boundary, comm, latency, tapproach) or all")
+		trials = fs.Int("trials", 0, "Monte Carlo trials per point (0 = paper's 10000)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		quick  = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		plots  = fs.Bool("plot", false, "append ASCII charts for plottable experiments")
+		outDir = fs.String("out", "", "write per-experiment files into this directory instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+
+	var tables []*experiments.Table
+	if *exp == "all" {
+		start := time.Now()
+		all, err := experiments.All(opt)
+		if err != nil {
+			return err
+		}
+		tables = all
+		fmt.Fprintf(os.Stderr, "ran %d experiments in %v\n", len(all), time.Since(start).Round(time.Millisecond))
+	} else {
+		runner, ok := runners[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		tbl, err := runner(opt)
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{tbl}
+	}
+
+	for _, tbl := range tables {
+		content := tbl.Render()
+		ext := ".txt"
+		if *csv {
+			content = tbl.CSV()
+			ext = ".csv"
+		}
+		if *plots {
+			if chart, ok := experiments.Chart(tbl); ok {
+				content += "\n" + chart
+			}
+		}
+		if *outDir == "" {
+			fmt.Println(content)
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, tbl.ID+ext)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}

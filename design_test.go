@@ -1,0 +1,126 @@
+package gbd_test
+
+import (
+	"math"
+	"testing"
+
+	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+func TestAnalyzeMixedFacade(t *testing.T) {
+	p := gbd.Defaults()
+	classes := []gbd.SensorClass{
+		{Count: 90, Rs: 800, Pd: 0.85},
+		{Count: 15, Rs: 2500, Pd: 0.95},
+	}
+	ana, err := gbd.AnalyzeMixed(p, classes, gbd.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ana.DetectionProb <= 0 || ana.DetectionProb >= 1 {
+		t.Errorf("mixed prob = %v", ana.DetectionProb)
+	}
+	simRes, err := gbd.SimulateMixed(gbd.SimConfig{Params: p, Trials: 1500, Seed: 5}, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simRes.DetectionProb-ana.DetectionProb) > 0.05 {
+		t.Errorf("mixed sim %v vs analysis %v", simRes.DetectionProb, ana.DetectionProb)
+	}
+}
+
+func TestSensitivitiesFacade(t *testing.T) {
+	out, err := gbd.Sensitivities(gbd.Defaults(), gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Errorf("parameters = %d, want 5", len(out))
+	}
+}
+
+func TestCoverageMapFacade(t *testing.T) {
+	p := gbd.Defaults()
+	rng := field.NewRand(4)
+	sensors, err := field.Uniform(p.N, geom.Square(p.FieldSide), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gbd.NewCoverageMap(p, sensors, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	void := m.VoidFraction()
+	if void < 0.4 || void > 0.95 {
+		t.Errorf("ONR void fraction = %v, expected substantial voids", void)
+	}
+	breach, err := m.MaximalBreach(p.Rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !breach.Undetectable {
+		t.Error("sparse ONR field should have an instantaneous-detection-free corridor")
+	}
+	// The corridor exists, yet the group-detection analysis still catches
+	// the target with high probability — the paper's whole point.
+	ana, err := gbd.Analyze(p, gbd.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ana.DetectionProb < 0.5 {
+		t.Errorf("group detection should still perform: %v", ana.DetectionProb)
+	}
+}
+
+func TestDutyCycleFacade(t *testing.T) {
+	p := gbd.Defaults()
+	duty, err := p.WithDutyCycle(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := gbd.Analyze(p, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gbd.Analyze(duty, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DetectionProb >= a.DetectionProb {
+		t.Errorf("duty cycling should cost detection: %v vs %v", b.DetectionProb, a.DetectionProb)
+	}
+}
+
+func TestCalibratePdFacade(t *testing.T) {
+	p := gbd.Defaults()
+	pd, err := gbd.CalibratePd(p, 0.04, 200_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd <= 0 || pd >= 1 {
+		t.Fatalf("calibrated Pd = %v", pd)
+	}
+	// Simulation under the exposure model vs analysis at the calibrated Pd.
+	cfg := gbd.SimConfig{Params: p, Trials: 2500, Seed: 8, ExposureLambda: 0.04}
+	simRes, err := gbd.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := p
+	cal.Pd = pd
+	ana, err := gbd.Analyze(cal, gbd.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(simRes.DetectionProb - ana.DetectionProb); d > 0.06 {
+		t.Errorf("exposure sim %v vs calibrated analysis %v", simRes.DetectionProb, ana.DetectionProb)
+	}
+	if _, err := gbd.CalibratePd(p, -1, 100, 1); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := gbd.CalibratePd(p, 0.04, 0, 1); err == nil {
+		t.Error("zero samples should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package gbd_test
+
+import (
+	"fmt"
+
+	gbd "github.com/groupdetect/gbd"
+)
+
+// Example analyzes the paper's ONR scenario with the M-S-approach.
+func Example() {
+	p := gbd.Defaults()
+	res, err := gbd.Analyze(p, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P[detect %d-of-%d] = %.4f\n", p.K, p.M, res.DetectionProb)
+	// Output:
+	// P[detect 5-of-20] = 0.7814
+}
+
+// ExampleSinglePeriodTail shows why M = 1 cannot work in a sparse field
+// (Section 3.1): even a single report per period is unlikely.
+func ExampleSinglePeriodTail() {
+	p := gbd.Defaults()
+	one, err := gbd.SinglePeriodTail(p, 1)
+	if err != nil {
+		panic(err)
+	}
+	two, err := gbd.SinglePeriodTail(p, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P1[X>=1] = %.3f, P1[X>=2] = %.3f\n", one, two)
+	// Output:
+	// P1[X>=1] = 0.368, P1[X>=2] = 0.077
+}
+
+// ExamplePlanAccuracy reproduces one row of Figure 8: the truncation
+// bounds needed for 99% analysis accuracy at N = 240.
+func ExamplePlanAccuracy() {
+	plan, err := gbd.PlanAccuracy(gbd.Defaults().WithN(240), 0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gh=%d g=%d (M-S) vs G=%d (S-approach)\n", plan.Gh, plan.G, plan.SG)
+	// Output:
+	// gh=6 g=3 (M-S) vs G=13 (S-approach)
+}
+
+// ExampleMinK answers the paper's future-work question: the smallest K
+// whose false-alarm probability over a day stays within 1%.
+func ExampleMinK() {
+	k, err := gbd.MinK(gbd.Defaults(), 1e-4, 24*60, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("K >= %d\n", k)
+	// Output:
+	// K >= 5
+}
+
+// ExampleAnalyzeNodes runs the Section-4 extension: reports must come from
+// at least two distinct nodes.
+func ExampleAnalyzeNodes() {
+	res, err := gbd.AnalyzeNodes(gbd.Defaults(), 2, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P[>=5 reports from >=2 nodes] = %.4f\n", res.DetectionProb)
+	// Output:
+	// P[>=5 reports from >=2 nodes] = 0.7758
+}

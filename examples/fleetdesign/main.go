@@ -1,0 +1,120 @@
+// Fleet design: a buyer's workflow for a heterogeneous deployment. A
+// program office can buy cheap short-range sensors and a few expensive
+// long-range arrays; this example compares pure and mixed fleets under a
+// fixed budget, audits the winning deployment's coverage voids and breach
+// corridors, checks sleep-scheduling savings, and reports which parameter
+// is the strongest lever.
+//
+// Run with:
+//
+//	go run ./examples/fleetdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+func main() {
+	base := gbd.Defaults() // field, target and 5-of-20 rule from the paper
+
+	// A unit budget of 240: short-range sensors cost 1, long-range arrays
+	// cost 8 (and see 2.5x farther with better electronics).
+	type option struct {
+		name    string
+		classes []gbd.SensorClass
+	}
+	short := gbd.SensorClass{Count: 240, Rs: 1000, Pd: 0.9}
+	long := gbd.SensorClass{Count: 30, Rs: 2500, Pd: 0.95}
+	options := []option{
+		{"240 short-range", []gbd.SensorClass{short}},
+		{"30 long-range", []gbd.SensorClass{long}},
+		{"120 short + 15 long", []gbd.SensorClass{
+			{Count: 120, Rs: 1000, Pd: 0.9},
+			{Count: 15, Rs: 2500, Pd: 0.95},
+		}},
+	}
+
+	fmt.Println("same budget, three fleets (analysis + simulation):")
+	best := options[0]
+	bestP := 0.0
+	for _, o := range options {
+		ana, err := gbd.AnalyzeMixed(base, o.classes, gbd.MSOptions{Gh: 5, G: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simRes, err := gbd.SimulateMixed(gbd.SimConfig{Params: base, Trials: 4000, Seed: 2}, o.classes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s analysis %.4f  simulation %.4f\n", o.name, ana.DetectionProb, simRes.DetectionProb)
+		if ana.DetectionProb > bestP {
+			bestP = ana.DetectionProb
+			best = o
+		}
+	}
+	fmt.Printf("winner: %s (P = %.4f)\n\n", best.name, bestP)
+
+	// Audit the winner's coverage: voids and worst-case corridors.
+	rng := field.NewRand(31)
+	var sensors []gbd.Point
+	maxRs := 0.0
+	for _, c := range best.classes {
+		pts, err := field.Uniform(c.Count, geom.Square(base.FieldSide), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sensors = append(sensors, pts...)
+		if c.Rs > maxRs {
+			maxRs = c.Rs
+		}
+	}
+	audit := base
+	audit.Rs = maxRs // conservative: audit with the longest range
+	m, err := gbd.NewCoverageMap(audit, sensors, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	breach, err := m.MaximalBreach(maxRs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage audit: %.1f%% covered, %.1f%% double-covered, void %.1f%%\n",
+		100*m.Fraction(1), 100*m.Fraction(2), 100*m.VoidFraction())
+	fmt.Printf("maximal-breach corridor keeps %.0f m from every sensor (instantaneously evadable: %v)\n\n",
+		breach.Distance, breach.Undetectable)
+
+	// Sleep scheduling: how much detection does a 50% duty cycle cost?
+	duty, err := base.WithDutyCycle(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := gbd.Analyze(base, gbd.MSOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	half, err := gbd.Analyze(duty, gbd.MSOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("duty cycling at N=%d: always-on P = %.4f, 50%% duty P = %.4f "+
+		"(half the energy for %.0f%% of the detection)\n\n",
+		base.N, full.DetectionProb, half.DetectionProb, 100*half.DetectionProb/full.DetectionProb)
+
+	// Which lever moves detection most?
+	sens, err := gbd.Sensitivities(base, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("elasticities of P[detect] (+10%/-10% central differences):")
+	for _, s := range sens {
+		fmt.Printf("  %-10s %+.3f\n", s.Param, s.Elasticity)
+	}
+	fmt.Println("\nreading: in the sparse regime, range (via swept area) and field size")
+	fmt.Println("dominate; doubling sensors is roughly linear; Pd matters less once")
+	fmt.Println("the rule already accumulates reports across periods.")
+}

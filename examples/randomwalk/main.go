@@ -1,0 +1,50 @@
+// Random-walk study: how far can the target's motion deviate from the
+// straight line before the analytical model stops being useful? The paper
+// (Figure 9(c)) shows the straight-line analysis stays within 2.4% of a
+// [-45°, +45°]-per-minute random walk; this example sweeps the turn bound
+// to map out where that breaks down.
+//
+// Run with:
+//
+//	go run ./examples/randomwalk
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/target"
+)
+
+func main() {
+	p := gbd.Defaults()
+	ana, err := gbd.Analyze(p, gbd.MSOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("straight-line analysis: P[detect] = %.4f\n\n", ana.DetectionProb)
+	fmt.Println("turn bound   simulated P   analysis - sim")
+
+	for _, deg := range []float64{0, 15, 45, 90, 135, 180} {
+		cfg := gbd.SimConfig{
+			Params: p,
+			Trials: 6000,
+			Seed:   int64(100 + deg),
+		}
+		if deg > 0 {
+			cfg.Model = target.RandomWalk{Step: p.Vt(), MaxTurn: deg * math.Pi / 180}
+		}
+		res, err := gbd.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ±%3.0f°      %.4f        %+.4f\n",
+			deg, res.DetectionProb, ana.DetectionProb-res.DetectionProb)
+	}
+
+	fmt.Println("\nreading: sharper turning shrinks the swept area (the ARegion), so the")
+	fmt.Println("straight-line analysis is an upper bound whose gap grows with the turn")
+	fmt.Println("bound; at the paper's ±45° the gap stays within a few percent.")
+}

@@ -1,0 +1,134 @@
+package gbd_test
+
+import (
+	"math"
+	"testing"
+
+	gbd "github.com/groupdetect/gbd"
+)
+
+func TestDefaultsAnalyze(t *testing.T) {
+	p := gbd.Defaults()
+	res, err := gbd.Analyze(p, gbd.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionProb <= 0 || res.DetectionProb >= 1 {
+		t.Errorf("detection prob = %v", res.DetectionProb)
+	}
+	// The ONR defaults are a mid-range scenario.
+	if res.DetectionProb < 0.5 || res.DetectionProb > 0.95 {
+		t.Errorf("defaults detection prob = %v, expected mid-range", res.DetectionProb)
+	}
+}
+
+func TestAnalyzeSAgreesWithAnalyze(t *testing.T) {
+	p := gbd.Defaults()
+	ms, err := gbd.Analyze(p, gbd.MSOptions{Gh: 5, G: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gbd.AnalyzeS(p, gbd.SOptions{G: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms.DetectionProb-s.DetectionProb) > 0.01 {
+		t.Errorf("M-S %v vs S %v", ms.DetectionProb, s.DetectionProb)
+	}
+}
+
+func TestAnalyzeNodes(t *testing.T) {
+	p := gbd.Defaults()
+	res, err := gbd.AnalyzeNodes(p, 2, gbd.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := gbd.Analyze(p, gbd.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionProb > base.DetectionProb+1e-9 {
+		t.Errorf("h=2 prob %v exceeds base %v", res.DetectionProb, base.DetectionProb)
+	}
+}
+
+func TestSinglePeriod(t *testing.T) {
+	p := gbd.Defaults()
+	pmf, err := gbd.SinglePeriod(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := gbd.SinglePeriodTail(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmf.Tail(1)-tail) > 1e-10 {
+		t.Errorf("PMF tail %v vs SinglePeriodTail %v", pmf.Tail(1), tail)
+	}
+}
+
+func TestSimulateAndTrial(t *testing.T) {
+	cfg := gbd.SimConfig{Params: gbd.Defaults(), Trials: 300, Seed: 5}
+	res, err := gbd.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 300 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+	tr, err := gbd.SimulateTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Track) != cfg.Params.M+1 {
+		t.Errorf("track positions = %d", len(tr.Track))
+	}
+}
+
+func TestPlanAccuracy(t *testing.T) {
+	plan, err := gbd.PlanAccuracy(gbd.Defaults().WithN(240), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(plan.SG > plan.Gh && plan.Gh >= plan.G) {
+		t.Errorf("plan shape wrong: %+v", plan)
+	}
+	if plan.EtaMS < 0.99 || plan.EtaS < 0.99 {
+		t.Errorf("planned accuracies below target: %+v", plan)
+	}
+	if _, err := gbd.PlanAccuracy(gbd.Defaults(), 0); err == nil {
+		t.Error("target 0 should fail")
+	}
+}
+
+func TestMinK(t *testing.T) {
+	p := gbd.Defaults()
+	k, err := gbd.MinK(p, 1e-4, 1440, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 4 || k > 6 {
+		t.Errorf("MinK = %d, expected ~5", k)
+	}
+	if _, err := gbd.MinK(p, -1, 1440, 0.01); err == nil {
+		t.Error("negative false alarm probability should fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cmp, err := gbd.Compare(gbd.Defaults(), 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AbsError > 0.05 {
+		t.Errorf("analysis %v vs simulation %v: error %v", cmp.Analysis, cmp.Simulation, cmp.AbsError)
+	}
+	if cmp.CILo > cmp.Simulation || cmp.CIHi < cmp.Simulation {
+		t.Errorf("CI [%v, %v] should bracket the estimate %v", cmp.CILo, cmp.CIHi, cmp.Simulation)
+	}
+	bad := gbd.Defaults()
+	bad.N = -1
+	if _, err := gbd.Compare(bad, 100, 1); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/groupdetect/gbd
+
+go 1.22

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// NodesResult is the outcome of the Section-4 extension analysis, where the
+// system-level decision additionally requires the k reports to come from at
+// least h distinct nodes.
+type NodesResult struct {
+	// Params echoes the analyzed scenario; H is the distinct-node
+	// requirement.
+	Params Params
+	H      int
+	// Gh and G are the truncation bounds used.
+	Gh, G int
+	// Joint is the raw joint distribution of (total reports, distinct
+	// reporting nodes), with the node axis saturated at H (the merged
+	// "h or more" states the paper describes).
+	Joint dist.Joint
+	// Mass is the retained probability mass.
+	Mass float64
+	// DetectionProb is P[reports >= K and nodes >= H], normalized.
+	DetectionProb float64
+	// RawTail is the un-normalized joint tail.
+	RawTail float64
+}
+
+// MSApproachNodes analyzes the extended rule "at least K reports from at
+// least h distinct nodes within M periods" (Section 4). It enlarges the
+// chain state from a report count to a (reports, distinct nodes) pair
+// exactly as the paper sketches — the node axis keeps states 0..h with h
+// meaning "h or more" — and otherwise reuses the Head/Body/Tail NEDR
+// machinery.
+func MSApproachNodes(p Params, h int, opt MSOptions) (*NodesResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("h = %d must be >= 1: %w", h, ErrParams)
+	}
+	gm, err := p.Geometry()
+	if err != nil {
+		return nil, err
+	}
+	if p.M <= gm.Ms {
+		return nil, fmt.Errorf("M = %d must exceed ms = %d: %w", p.M, gm.Ms, ErrParams)
+	}
+	target := opt.TargetAccuracy
+	if target == 0 {
+		target = 0.99
+	}
+	gh, g := opt.Gh, opt.G
+	if gh <= 0 {
+		gh, err = RequiredHeadG(p, target)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if g <= 0 {
+		g, err = RequiredBodyG(p, target)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := p.FieldArea()
+	ys := h + 1
+	head := regionSet{areas: gm.AreaHAll(), fieldArea: s, n: p.N, pd: p.Pd}
+	jh, err := head.reportJoint(gh, ys)
+	if err != nil {
+		return nil, fmt.Errorf("head stage: %w", err)
+	}
+	body := regionSet{areas: gm.AreaBAll(), fieldArea: s, n: p.N, pd: p.Pd}
+	jb, err := body.reportJoint(g, ys)
+	if err != nil {
+		return nil, fmt.Errorf("body stage: %w", err)
+	}
+	// Exact report-axis bound across all stages.
+	xs := jh.XSize()
+	bodySteps := p.M - gm.Ms - 1
+	xs += bodySteps * (jb.XSize() - 1)
+	tails := make([]dist.Joint, gm.Ms)
+	for j := 1; j <= gm.Ms; j++ {
+		tail := regionSet{areas: gm.AreaTAll(j), fieldArea: s, n: p.N, pd: p.Pd}
+		tails[j-1], err = tail.reportJoint(g, ys)
+		if err != nil {
+			return nil, fmt.Errorf("tail stage T%d: %w", j, err)
+		}
+		xs += tails[j-1].XSize() - 1
+	}
+
+	total := jh
+	for i := 0; i < bodySteps; i++ {
+		total = dist.ConvolveJoint(total, jb, xs, ys)
+	}
+	for _, t := range tails {
+		total = dist.ConvolveJoint(total, t, xs, ys)
+	}
+
+	res := &NodesResult{
+		Params:  p,
+		H:       h,
+		Gh:      gh,
+		G:       g,
+		Joint:   total,
+		Mass:    total.Total(),
+		RawTail: total.TailBoth(p.K, h),
+	}
+	if res.Mass > 0 {
+		res.DetectionProb = numeric.Clamp01(res.RawTail / res.Mass)
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+func TestWithDutyCycle(t *testing.T) {
+	p := Defaults()
+	q, err := p.WithDutyCycle(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pd != 0.45 {
+		t.Errorf("Pd = %v, want 0.45", q.Pd)
+	}
+	if p.Pd != 0.9 {
+		t.Error("WithDutyCycle must not mutate the receiver")
+	}
+	if _, err := p.WithDutyCycle(0); err == nil {
+		t.Error("awake=0 should fail")
+	}
+	if _, err := p.WithDutyCycle(1.5); err == nil {
+		t.Error("awake>1 should fail")
+	}
+	full, err := p.WithDutyCycle(1)
+	if err != nil || full.Pd != p.Pd {
+		t.Error("awake=1 should be identity")
+	}
+}
+
+func TestDutyCycleReducesDetection(t *testing.T) {
+	p := Defaults()
+	base := mustMS(t, p, MSOptions{Gh: 3, G: 3})
+	half, err := p.WithDutyCycle(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty := mustMS(t, half, MSOptions{Gh: 3, G: 3})
+	if duty.DetectionProb >= base.DetectionProb {
+		t.Errorf("duty cycling should reduce detection: %v vs %v", duty.DetectionProb, base.DetectionProb)
+	}
+}
+
+func TestMixedSingleClassMatchesBase(t *testing.T) {
+	p := Defaults()
+	mixed, err := MSApproachMixed(p, []SensorClass{{Count: p.N, Rs: p.Rs, Pd: p.Pd}}, MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mustMS(t, p, MSOptions{Gh: 3, G: 3})
+	if !numeric.AlmostEqual(mixed.DetectionProb, base.DetectionProb, 1e-12, 1e-10) {
+		t.Errorf("single-class mixed %v vs base %v", mixed.DetectionProb, base.DetectionProb)
+	}
+	if d := dist.MaxAbsDiff(mixed.PMF, base.PMF); d > 1e-12 {
+		t.Errorf("PMFs differ by %v", d)
+	}
+}
+
+// TestMixedSplitClassMatchesWhole exploits binomial additivity: two
+// identical classes of N/2 sensors must reproduce one class of N sensors
+// exactly (Binomial(N,p) is the convolution of two Binomial(N/2,p)), up to
+// truncation differences — so compare with truncation disabled by using
+// large bounds.
+func TestMixedSplitClassMatchesWhole(t *testing.T) {
+	p := Defaults().WithN(120)
+	whole, err := MSApproachMixed(p, []SensorClass{{Count: 120, Rs: p.Rs, Pd: p.Pd}}, MSOptions{Gh: 10, G: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := MSApproachMixed(p, []SensorClass{
+		{Count: 60, Rs: p.Rs, Pd: p.Pd},
+		{Count: 60, Rs: p.Rs, Pd: p.Pd},
+	}, MSOptions{Gh: 10, G: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(split.DetectionProb, whole.DetectionProb, 5e-4, 5e-4) {
+		t.Errorf("split %v vs whole %v", split.DetectionProb, whole.DetectionProb)
+	}
+}
+
+func TestMixedHeterogeneousOrderIndependent(t *testing.T) {
+	p := Defaults()
+	a := []SensorClass{
+		{Count: 100, Rs: 800, Pd: 0.85},
+		{Count: 20, Rs: 3000, Pd: 0.95},
+	}
+	b := []SensorClass{a[1], a[0]}
+	ra, err := MSApproachMixed(p, a, MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := MSApproachMixed(p, b, MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(ra.DetectionProb, rb.DetectionProb, 1e-12, 1e-10) {
+		t.Errorf("order dependence: %v vs %v", ra.DetectionProb, rb.DetectionProb)
+	}
+	if len(ra.PerClass) != 2 {
+		t.Errorf("per-class results missing")
+	}
+}
+
+func TestMixedLongRangeClassDominates(t *testing.T) {
+	p := Defaults()
+	// Few long-range sensors beat many more of a tiny-range class.
+	long, err := MSApproachMixed(p, []SensorClass{{Count: 30, Rs: 3000, Pd: 0.9}}, MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := MSApproachMixed(p, []SensorClass{{Count: 120, Rs: 500, Pd: 0.9}}, MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.DetectionProb <= short.DetectionProb {
+		t.Errorf("30x3km (%v) should beat 120x0.5km (%v)", long.DetectionProb, short.DetectionProb)
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	p := Defaults()
+	if _, err := MSApproachMixed(p, nil, MSOptions{}); err == nil {
+		t.Error("empty class list should fail")
+	}
+	if _, err := MSApproachMixed(p, []SensorClass{{Count: -1, Rs: 1000, Pd: 0.9}}, MSOptions{}); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := MSApproachMixed(p, []SensorClass{{Count: 10, Rs: 0, Pd: 0.9}}, MSOptions{}); err == nil {
+		t.Error("zero range should fail")
+	}
+	// A class whose ms >= M must fail (slow coverage traversal).
+	if _, err := MSApproachMixed(p, []SensorClass{{Count: 10, Rs: 8000, Pd: 0.9}}, MSOptions{}); err == nil {
+		t.Error("class with ms >= M should fail")
+	}
+}

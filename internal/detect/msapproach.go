@@ -1,0 +1,238 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/markov"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// Evaluator selects how Eq. (12) is evaluated.
+type Evaluator int
+
+const (
+	// EvaluatorConvolution exploits that every stage's transition matrix is
+	// a shift kernel, so the chained vector-matrix products reduce to
+	// convolving the per-stage report distributions. This is the default
+	// and the fast path.
+	EvaluatorConvolution Evaluator = iota + 1
+	// EvaluatorMatrix materializes the Head/Body/Tail transition matrices
+	// and computes Result = u * TH * TB^(M-ms-1) * prod_j TTj literally as
+	// in the paper. Used for cross-checking and for the ablation benchmark.
+	EvaluatorMatrix
+)
+
+// MSOptions configures the M-S-approach. The zero value plans gh and g for
+// a 99% predicted accuracy, evaluates by convolution, and normalizes the
+// result per Eq. (13).
+type MSOptions struct {
+	// Gh is the maximum number of sensors considered in the Head-stage
+	// NEDR. Zero means plan automatically from TargetAccuracy.
+	Gh int
+	// G is the maximum number of sensors considered in each Body/Tail-stage
+	// NEDR. Zero means plan automatically from TargetAccuracy.
+	G int
+	// TargetAccuracy is the desired etaMS (Eq. 14) used when Gh or G is
+	// zero. Zero means 0.99, the value used throughout the paper.
+	TargetAccuracy float64
+	// Evaluator selects the Eq. (12) evaluation strategy; zero means
+	// EvaluatorConvolution.
+	Evaluator Evaluator
+	// NoNormalize skips the Eq. (13) renormalization, reporting the raw
+	// truncated tail probability instead. This reproduces Figure 9(b).
+	NoNormalize bool
+	// MergeAtK merges every state with K or more reports into a single
+	// absorbing state, exactly as the paper describes under Figure 5
+	// ("if we are only interested in the probability of having at least k
+	// detection reports, we can merge the states from k to MZ"). The
+	// result PMF then has K+1 entries with the last holding P[X >= K].
+	// Only the detection probability is meaningful in this mode; moments
+	// of the merged PMF are not.
+	MergeAtK bool
+}
+
+// MSResult is the outcome of the M-S-approach analysis.
+type MSResult struct {
+	// Params echoes the analyzed scenario.
+	Params Params
+	// Gh and G are the truncation bounds actually used.
+	Gh, G int
+	// PMF is the raw (sub-stochastic) distribution of the total number of
+	// detection reports generated in M sensing periods.
+	PMF dist.PMF
+	// Mass is the total probability mass of PMF — the paper's "sum" in
+	// Eq. (13). 1 - Mass is the truncated probability.
+	Mass float64
+	// DetectionProb is PM[X >= K]: normalized per Eq. (13) unless
+	// NoNormalize was set, in which case it equals RawTail.
+	DetectionProb float64
+	// RawTail is the un-normalized P[X >= K] (Figure 9(b)).
+	RawTail float64
+	// PredictedAccuracy is etaMS per Eq. (14) for the used Gh and G.
+	PredictedAccuracy float64
+}
+
+// stagePMFs computes the per-stage report distributions: the Head NEDR
+// distribution ph, the Body NEDR distribution pb (shared by all
+// M-ms-1 body steps), and the ms Tail NEDR distributions pt[0..ms-1]
+// (pt[j-1] is period Tj's).
+func stagePMFs(p Params, gh, g int) (ph, pb dist.PMF, pt []dist.PMF, err error) {
+	gm, err := p.Geometry()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := p.FieldArea()
+	head := regionSet{areas: gm.AreaHAll(), fieldArea: s, n: p.N, pd: p.Pd}
+	ph, err = head.reportPMF(gh)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("head stage: %w", err)
+	}
+	body := regionSet{areas: gm.AreaBAll(), fieldArea: s, n: p.N, pd: p.Pd}
+	pb, err = body.reportPMF(g)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("body stage: %w", err)
+	}
+	pt = make([]dist.PMF, gm.Ms)
+	for j := 1; j <= gm.Ms; j++ {
+		tail := regionSet{areas: gm.AreaTAll(j), fieldArea: s, n: p.N, pd: p.Pd}
+		pt[j-1], err = tail.reportPMF(g)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("tail stage T%d: %w", j, err)
+		}
+	}
+	return ph, pb, pt, nil
+}
+
+// MSApproach analyzes group-based detection with the Markov-chain-based
+// Spatial approach (Section 3.4). It requires M > ms, the general case the
+// paper considers; use SinglePeriod for M = 1.
+func MSApproach(p Params, opt MSOptions) (*MSResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ms := p.Ms()
+	if p.M <= ms {
+		return nil, fmt.Errorf("M = %d must exceed ms = %d for the M-S-approach: %w", p.M, ms, ErrParams)
+	}
+	target := opt.TargetAccuracy
+	if target == 0 {
+		target = 0.99
+	}
+	if target <= 0 || target >= 1 {
+		return nil, fmt.Errorf("target accuracy %v must be in (0, 1): %w", target, ErrParams)
+	}
+	gh, g := opt.Gh, opt.G
+	if gh <= 0 {
+		var err error
+		gh, err = RequiredHeadG(p, target)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if g <= 0 {
+		var err error
+		g, err = RequiredBodyG(p, target)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ph, pb, pt, err := stagePMFs(p, gh, g)
+	if err != nil {
+		return nil, err
+	}
+
+	var total dist.PMF
+	switch opt.Evaluator {
+	case 0, EvaluatorConvolution:
+		total = dist.Convolve(ph, dist.ConvolvePower(pb, p.M-ms-1))
+		for _, t := range pt {
+			total = dist.Convolve(total, t)
+		}
+		if opt.MergeAtK {
+			total = total.Truncate(p.K+1, true)
+		}
+	case EvaluatorMatrix:
+		total, err = evaluateMatrix(ph, pb, pt, p.M-ms-1, mergeSize(opt, p))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown evaluator %d: %w", opt.Evaluator, ErrParams)
+	}
+
+	res := &MSResult{
+		Params:            p,
+		Gh:                gh,
+		G:                 g,
+		PMF:               total,
+		Mass:              total.Total(),
+		RawTail:           total.Tail(p.K),
+		PredictedAccuracy: EtaMS(p, gh, g),
+	}
+	if opt.NoNormalize {
+		res.DetectionProb = res.RawTail
+	} else if res.Mass > 0 {
+		// Eq. (13): divide the tail by the retained mass.
+		res.DetectionProb = numeric.Clamp01(res.RawTail / res.Mass)
+	}
+	return res, nil
+}
+
+// mergeSize returns the Markov state count: 0 means exact sizing; a
+// positive value caps the space at K+1 merged states (Figure 5's merged
+// "k or more" state).
+func mergeSize(opt MSOptions, p Params) int {
+	if opt.MergeAtK {
+		return p.K + 1
+	}
+	return 0
+}
+
+// evaluateMatrix runs Eq. (12) with explicit transition matrices:
+// Result = u * TH * TB^(bodySteps) * TT1 * ... * TTms. capSize > 0 merges
+// every state past the cap into the final saturating state.
+func evaluateMatrix(ph, pb dist.PMF, pt []dist.PMF, bodySteps, capSize int) (dist.PMF, error) {
+	// Exact state-space bound: no saturation can occur, so the matrix and
+	// convolution paths are comparable to machine precision.
+	size := len(ph) + bodySteps*(len(pb)-1)
+	for _, t := range pt {
+		size += len(t) - 1
+	}
+	if capSize > 0 && capSize < size {
+		size = capSize
+	}
+	u := make([]float64, size) // Eq. (11): all mass at zero reports.
+	u[0] = 1
+
+	head, err := markov.ShiftKernel(ph, size, true)
+	if err != nil {
+		return nil, fmt.Errorf("head kernel: %w", err)
+	}
+	v, err := head.Step(u)
+	if err != nil {
+		return nil, err
+	}
+	if bodySteps > 0 {
+		body, err := markov.ShiftKernel(pb, size, true)
+		if err != nil {
+			return nil, fmt.Errorf("body kernel: %w", err)
+		}
+		v, err = body.Evolve(v, bodySteps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for j, t := range pt {
+		tail, err := markov.ShiftKernel(t, size, true)
+		if err != nil {
+			return nil, fmt.Errorf("tail kernel T%d: %w", j+1, err)
+		}
+		v, err = tail.Step(v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dist.PMF(v), nil
+}

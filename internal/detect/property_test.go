@@ -1,0 +1,135 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// randomScenario draws a valid sparse scenario with M > ms.
+func randomScenario(rng *rand.Rand) Params {
+	for {
+		p := Params{
+			N:         10 + rng.Intn(200),
+			FieldSide: 10000 + rng.Float64()*40000,
+			Rs:        300 + rng.Float64()*1500,
+			V:         2 + rng.Float64()*18,
+			T:         time.Duration(30+rng.Intn(90)) * time.Second,
+			Pd:        0.3 + 0.7*rng.Float64(),
+			M:         10 + rng.Intn(20),
+			K:         1 + rng.Intn(6),
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		if p.M > p.Ms() && p.PIndi() < 0.2 {
+			return p
+		}
+	}
+}
+
+// TestPropertyMassEqualsEtaMS: for arbitrary valid scenarios, the retained
+// mass of the truncated M-S computation equals the Eq. (14) product.
+func TestPropertyMassEqualsEtaMS(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func(gh8, g8 uint8) bool {
+		p := randomScenario(rng)
+		gh := 1 + int(gh8%4)
+		g := 1 + int(g8%3)
+		res, err := MSApproach(p, MSOptions{Gh: gh, G: g})
+		if err != nil {
+			return false
+		}
+		return numeric.AlmostEqual(res.Mass, EtaMS(p, gh, g), 1e-8, 1e-8)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDetectionProbMonotoneInPd: raising Pd cannot hurt detection,
+// for arbitrary scenarios.
+func TestPropertyDetectionProbMonotoneInPd(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	f := func(delta8 uint8) bool {
+		p := randomScenario(rng)
+		if p.Pd > 0.9 {
+			p.Pd = 0.9
+		}
+		bump := p
+		bump.Pd = p.Pd + (1-p.Pd)*float64(delta8)/512
+		lo, err := MSApproach(p, MSOptions{Gh: 3, G: 3})
+		if err != nil {
+			return false
+		}
+		hi, err := MSApproach(bump, MSOptions{Gh: 3, G: 3})
+		if err != nil {
+			return false
+		}
+		return hi.DetectionProb >= lo.DetectionProb-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEvaluatorsAgree: matrix and convolution evaluation of
+// Eq. (12) agree on arbitrary scenarios.
+func TestPropertyEvaluatorsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 25; i++ {
+		p := randomScenario(rng)
+		conv, err := MSApproach(p, MSOptions{Gh: 2, G: 2})
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		mat, err := MSApproach(p, MSOptions{Gh: 2, G: 2, Evaluator: EvaluatorMatrix})
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !numeric.AlmostEqual(conv.DetectionProb, mat.DetectionProb, 1e-10, 1e-10) {
+			t.Errorf("%+v: conv %v vs mat %v", p, conv.DetectionProb, mat.DetectionProb)
+		}
+	}
+}
+
+// TestPropertyRawTailBelowNormalized: normalization can only raise the
+// probability (mass <= 1).
+func TestPropertyRawTailBelowNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for i := 0; i < 25; i++ {
+		p := randomScenario(rng)
+		res, err := MSApproach(p, MSOptions{Gh: 2, G: 2})
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if res.RawTail > res.DetectionProb+1e-12 {
+			t.Errorf("%+v: raw %v above normalized %v", p, res.RawTail, res.DetectionProb)
+		}
+	}
+}
+
+// TestPropertyExtensionMarginalConsistency: the h-nodes extension with
+// h = 1 equals the base analysis on arbitrary scenarios.
+func TestPropertyExtensionMarginalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for i := 0; i < 15; i++ {
+		p := randomScenario(rng)
+		base, err := MSApproach(p, MSOptions{Gh: 2, G: 2})
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		ext, err := MSApproachNodes(p, 1, MSOptions{Gh: 2, G: 2})
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !numeric.AlmostEqual(base.DetectionProb, ext.DetectionProb, 1e-9, 1e-9) {
+			t.Errorf("%+v: base %v vs h=1 %v", p, base.DetectionProb, ext.DetectionProb)
+		}
+	}
+}

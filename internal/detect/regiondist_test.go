@@ -1,0 +1,285 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+func headRegionSet(t *testing.T, p Params) regionSet {
+	t.Helper()
+	gm, err := p.Geometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regionSet{areas: gm.AreaHAll(), fieldArea: p.FieldArea(), n: p.N, pd: p.Pd}
+}
+
+func TestRegionSetValidate(t *testing.T) {
+	good := headRegionSet(t, Defaults())
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid region set rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*regionSet)
+	}{
+		{"too few areas", func(r *regionSet) { r.areas = []float64{0} }},
+		{"index 0 used", func(r *regionSet) { r.areas = []float64{1, 2} }},
+		{"negative area", func(r *regionSet) { r.areas[1] = -1 }},
+		{"zero field", func(r *regionSet) { r.fieldArea = 0 }},
+		{"region > field", func(r *regionSet) { r.fieldArea = 1 }},
+		{"negative n", func(r *regionSet) { r.n = -1 }},
+		{"bad pd", func(r *regionSet) { r.pd = 0 }},
+	}
+	for _, tc := range cases {
+		r := headRegionSet(t, Defaults())
+		r.areas = append([]float64(nil), r.areas...)
+		tc.mut(&r)
+		if err := r.validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestPerSensorReportsNormalized(t *testing.T) {
+	r := headRegionSet(t, Defaults())
+	per := r.perSensorReports()
+	if !numeric.AlmostEqual(per.Total(), 1, 1e-12, 1e-12) {
+		t.Errorf("per-sensor total = %v", per.Total())
+	}
+	if len(per) != r.maxSpan()+1 {
+		t.Errorf("support = %d, want %d", len(per), r.maxSpan()+1)
+	}
+	// With Pd = 0.9 a sensor in the region usually reports at least once.
+	if per[0] > 0.5 {
+		t.Errorf("P[0 reports | in region] = %v, unexpectedly high", per[0])
+	}
+	// Degenerate region: all mass at zero reports.
+	empty := regionSet{areas: []float64{0, 0}, fieldArea: 1, n: 1, pd: 0.9}
+	per = empty.perSensorReports()
+	if per[0] != 1 {
+		t.Errorf("empty region per-sensor = %v", per)
+	}
+}
+
+func TestSensorCountPMFMassIsXi(t *testing.T) {
+	p := Defaults()
+	r := headRegionSet(t, p)
+	for _, g := range []int{0, 1, 3, 6} {
+		counts := r.sensorCountPMF(g)
+		want := numeric.BinomialCDF(p.N, g, r.totalArea()/p.FieldArea())
+		if !numeric.AlmostEqual(counts.Total(), want, 1e-12, 1e-10) {
+			t.Errorf("g=%d: count mass = %v, want binomial CDF %v", g, counts.Total(), want)
+		}
+	}
+	// g > N clamps.
+	counts := r.sensorCountPMF(p.N + 50)
+	if len(counts) != p.N+1 {
+		t.Errorf("g > N: support = %d, want %d", len(counts), p.N+1)
+	}
+}
+
+// TestReportPMFMatchesLiteralAlgorithm1 is the key fidelity check: the
+// mixture-convolution formulation must equal the paper's Algorithm 1
+// (ordered-tuple enumeration) exactly, for every stage's region set.
+func TestReportPMFMatchesLiteralAlgorithm1(t *testing.T) {
+	p := Defaults()
+	gm, err := p.Geometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, err := gm.Regions(p.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := map[string]regionSet{
+		"head":    {areas: gm.AreaHAll(), fieldArea: p.FieldArea(), n: p.N, pd: p.Pd},
+		"body":    {areas: gm.AreaBAll(), fieldArea: p.FieldArea(), n: p.N, pd: p.Pd},
+		"tail-1":  {areas: gm.AreaTAll(1), fieldArea: p.FieldArea(), n: p.N, pd: p.Pd},
+		"tail-ms": {areas: gm.AreaTAll(gm.Ms), fieldArea: p.FieldArea(), n: p.N, pd: p.Pd},
+		"aregion": {areas: regions, fieldArea: p.FieldArea(), n: p.N, pd: p.Pd},
+	}
+	for name, rs := range sets {
+		for _, g := range []int{0, 1, 2, 3} {
+			fast, err := rs.reportPMF(g)
+			if err != nil {
+				t.Fatalf("%s g=%d: %v", name, g, err)
+			}
+			lit, err := rs.reportPMFEnumerated(g)
+			if err != nil {
+				t.Fatalf("%s g=%d literal: %v", name, g, err)
+			}
+			if d := dist.MaxAbsDiff(fast, lit); d > 1e-14 {
+				t.Errorf("%s g=%d: fast vs literal max diff %v", name, g, d)
+			}
+		}
+	}
+}
+
+func TestReportPMFMassEqualsCountMass(t *testing.T) {
+	// The report distribution's total mass must equal the probability of
+	// having at most g sensors in the region — the xi accuracy quantities.
+	p := Defaults().WithN(240)
+	r := headRegionSet(t, p)
+	for _, g := range []int{1, 3, 5} {
+		pmf, err := r.reportPMF(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := numeric.BinomialCDF(p.N, g, r.totalArea()/p.FieldArea())
+		if !numeric.AlmostEqual(pmf.Total(), want, 1e-12, 1e-10) {
+			t.Errorf("g=%d: report mass = %v, want %v", g, pmf.Total(), want)
+		}
+	}
+}
+
+func TestReportPMFZeroG(t *testing.T) {
+	r := headRegionSet(t, Defaults())
+	pmf, err := r.reportPMF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the empty-region configuration is retained: Eq. (4).
+	want := numeric.BinomialPMF(r.n, 0, r.totalArea()/r.fieldArea)
+	if !numeric.AlmostEqual(pmf[0], want, 1e-15, 1e-12) {
+		t.Errorf("ps:0:0 = %v, want %v", pmf[0], want)
+	}
+	if !numeric.AlmostEqual(pmf.Total(), pmf[0], 1e-15, 1e-12) {
+		t.Error("g=0 should retain only the zero-sensor term")
+	}
+}
+
+func TestReportPMFNegativeG(t *testing.T) {
+	r := headRegionSet(t, Defaults())
+	if _, err := r.reportPMF(-1); err == nil {
+		t.Error("negative g should fail")
+	}
+	if _, err := r.reportPMFEnumerated(-1); err == nil {
+		t.Error("negative g should fail (literal)")
+	}
+}
+
+func TestReportPMFInvalidRegion(t *testing.T) {
+	r := regionSet{areas: []float64{0, -1}, fieldArea: 1, n: 1, pd: 0.5}
+	if _, err := r.reportPMF(1); err == nil {
+		t.Error("invalid region set should fail")
+	}
+	if _, err := r.reportPMFEnumerated(1); err == nil {
+		t.Error("invalid region set should fail (literal)")
+	}
+}
+
+func TestReportPMFMassMonotoneInG(t *testing.T) {
+	r := headRegionSet(t, Defaults().WithN(200))
+	prev := -1.0
+	for g := 0; g <= 8; g++ {
+		pmf, err := r.reportPMF(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := pmf.Total()
+		if total < prev-1e-12 {
+			t.Fatalf("mass decreased at g=%d: %v < %v", g, total, prev)
+		}
+		prev = total
+	}
+	if prev > 1+1e-9 {
+		t.Errorf("mass exceeded 1: %v", prev)
+	}
+}
+
+func TestReportJointMarginalMatchesPMF(t *testing.T) {
+	p := Defaults()
+	r := headRegionSet(t, p)
+	for _, g := range []int{1, 3} {
+		for _, h := range []int{1, 2, 4} {
+			joint, err := r.reportJoint(g, h+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pmf, err := r.reportPMF(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			marg := joint.MarginalX()
+			for i := range pmf {
+				m := 0.0
+				if i < len(marg) {
+					m = marg[i]
+				}
+				if !numeric.AlmostEqual(m, pmf[i], 1e-13, 1e-10) {
+					t.Errorf("g=%d h=%d: marginal[%d] = %v, pmf = %v", g, h, i, m, pmf[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReportJointReportersNeverExceedReports(t *testing.T) {
+	r := headRegionSet(t, Defaults())
+	joint, err := r.reportJoint(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, row := range joint {
+		for y, v := range row {
+			if y > x && v > 1e-15 {
+				t.Errorf("impossible mass at reports=%d reporters=%d: %v", x, y, v)
+			}
+		}
+	}
+}
+
+func TestReportJointValidation(t *testing.T) {
+	r := headRegionSet(t, Defaults())
+	if _, err := r.reportJoint(-1, 2); err == nil {
+		t.Error("negative g should fail")
+	}
+	if _, err := r.reportJoint(2, 0); err == nil {
+		t.Error("maxReporters < 1 should fail")
+	}
+}
+
+func TestReportPMFPropertyRandomRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := func(n8, g8, k8 uint8) bool {
+		k := 1 + int(k8%6)
+		n := 1 + int(n8%50)
+		g := int(g8 % 5)
+		areas := make([]float64, k+1)
+		var total float64
+		for i := 1; i <= k; i++ {
+			areas[i] = rng.Float64()
+			total += areas[i]
+		}
+		r := regionSet{areas: areas, fieldArea: total*10 + 1, n: n, pd: 0.1 + 0.9*rng.Float64()}
+		pmf, err := r.reportPMF(g)
+		if err != nil {
+			return false
+		}
+		// Mass equals the binomial CDF and the PMF is non-negative.
+		want := numeric.BinomialCDF(n, g, r.totalArea()/r.fieldArea)
+		if !numeric.AlmostEqual(pmf.Total(), want, 1e-10, 1e-9) {
+			return false
+		}
+		for _, v := range pmf {
+			if v < 0 {
+				return false
+			}
+		}
+		// And matches the literal Algorithm 1.
+		lit, err := r.reportPMFEnumerated(g)
+		if err != nil {
+			return false
+		}
+		return dist.MaxAbsDiff(pmf, lit) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package detect
+
+import "testing"
+
+func TestSensitivitySigns(t *testing.T) {
+	out, err := SensitivityAnalysis(Defaults(), MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Sensitivity{}
+	for _, s := range out {
+		byName[s.Param] = s
+	}
+	for _, name := range []string{"N", "Rs", "V", "Pd", "FieldSide"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("parameter %s missing", name)
+		}
+	}
+	// More sensors, longer range, faster target and better sensing all
+	// help; a bigger field hurts.
+	for _, name := range []string{"N", "Rs", "V", "Pd"} {
+		if byName[name].Elasticity <= 0 {
+			t.Errorf("%s elasticity = %v, expected positive", name, byName[name].Elasticity)
+		}
+	}
+	if byName["FieldSide"].Elasticity >= 0 {
+		t.Errorf("FieldSide elasticity = %v, expected negative", byName["FieldSide"].Elasticity)
+	}
+	// Field area scales quadratically with side, so the field should be
+	// among the strongest levers in magnitude.
+	if mag := -byName["FieldSide"].Elasticity; mag < byName["V"].Elasticity {
+		t.Errorf("field-side elasticity magnitude %v should exceed V's %v",
+			mag, byName["V"].Elasticity)
+	}
+	if byName["N"].Base != 120 {
+		t.Errorf("base N = %v", byName["N"].Base)
+	}
+}
+
+func TestSensitivityErrors(t *testing.T) {
+	bad := Defaults()
+	bad.N = -1
+	if _, err := SensitivityAnalysis(bad, MSOptions{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+	// A scenario where +10% V makes M <= ms? Not possible here, but a
+	// near-zero detection probability must be rejected to avoid dividing
+	// by zero.
+	tiny := Defaults().WithN(0)
+	if _, err := SensitivityAnalysis(tiny, MSOptions{Gh: 3, G: 3}); err == nil {
+		t.Error("zero detection probability should fail")
+	}
+}

@@ -1,0 +1,36 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// SinglePeriod returns the distribution of the number of detection reports
+// generated in one sensing period while a target is in the field
+// (Section 3.1, Eq. 1): Binomial(N, p_indi). This is the preliminary M = 1
+// analysis from prior work that the paper generalizes.
+func SinglePeriod(p Params) (dist.PMF, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pindi := p.PIndi()
+	if pindi > 1 {
+		return nil, fmt.Errorf("p_indi = %v > 1 (DR larger than field): %w", pindi, ErrParams)
+	}
+	return dist.Binomial(p.N, pindi), nil
+}
+
+// SinglePeriodTail returns P1[X >= k] (Eq. 2): the probability of at least
+// k detection reports within a single sensing period.
+func SinglePeriodTail(p Params, k int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	pindi := p.PIndi()
+	if pindi > 1 {
+		return 0, fmt.Errorf("p_indi = %v > 1 (DR larger than field): %w", pindi, ErrParams)
+	}
+	return numeric.BinomialTail(p.N, k, pindi), nil
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options {
+	return Options{Quick: true, Trials: 400, Seed: 7}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Fig8(Options{Trials: -1}); err == nil {
+		t.Error("negative trials should fail")
+	}
+	opt, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Trials != 10000 {
+		t.Errorf("default trials = %d, want 10000", opt.Trials)
+	}
+	opt, err = Options{Quick: true}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Trials != 1500 {
+		t.Errorf("quick default trials = %d, want 1500", opt.Trials)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow(1, 0.5)
+	tbl.AddRow("x", "y")
+	text := tbl.Render()
+	if !strings.Contains(text, "demo") || !strings.Contains(text, "0.5000") || !strings.Contains(text, "note: a note") {
+		t.Errorf("Render output unexpected:\n%s", text)
+	}
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "a,bb" {
+		t.Errorf("CSV output unexpected:\n%s", csv)
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig8Shape(t *testing.T) {
+	tbl, err := Fig8(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tbl.Rows {
+		g, _ := strconv.Atoi(row[1])
+		gh, _ := strconv.Atoi(row[2])
+		gs, _ := strconv.Atoi(row[3])
+		if !(gs > gh && gh >= g) {
+			t.Errorf("row %v violates G > gh >= g", row)
+		}
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	tbl, err := Fig9a(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 2 speeds x 3 quick N values
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		absErr := parseFloat(t, row[6])
+		// 400 trials: generous tolerance, the paper reports ~1%.
+		if absErr > 0.08 {
+			t.Errorf("analysis/simulation gap %v too large: %v", row, absErr)
+		}
+	}
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("shape warning: %s", n)
+		}
+	}
+}
+
+func TestFig9bUnderReports(t *testing.T) {
+	tbl, err := Fig9b(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At N=240 V=10 the raw analysis must sit below the simulation.
+	for _, row := range tbl.Rows {
+		if row[0] == "10.0000" && row[1] == "240" {
+			ana := parseFloat(t, row[2])
+			simP := parseFloat(t, row[3])
+			if ana >= simP {
+				t.Errorf("un-normalized analysis %v should under-report vs sim %v", ana, simP)
+			}
+		}
+	}
+}
+
+func TestFig9cUpperBound(t *testing.T) {
+	tbl, err := Fig9c(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		ana := parseFloat(t, row[2])
+		simP := parseFloat(t, row[3])
+		// Monte Carlo slack with quick trials.
+		if simP > ana+0.06 {
+			t.Errorf("random-walk sim %v exceeds straight-line analysis %v", simP, ana)
+		}
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	tbl, err := Timing(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Rows[4][0], "extrapolated") {
+		t.Errorf("last row should be the extrapolation: %v", tbl.Rows[4])
+	}
+}
+
+func TestExtensionHTable(t *testing.T) {
+	tbl, err := ExtensionH(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probability must decrease with h within each N block.
+	prev := 2.0
+	for _, row := range tbl.Rows {
+		h, _ := strconv.Atoi(row[1])
+		p := parseFloat(t, row[2])
+		if h == 1 {
+			prev = 2.0
+		}
+		if p > prev+1e-9 {
+			t.Errorf("probability increased with h: %v", row)
+		}
+		prev = p
+	}
+}
+
+func TestKMinTable(t *testing.T) {
+	tbl, err := KMinTable(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevK := 0
+	for _, row := range tbl.Rows {
+		k, _ := strconv.Atoi(row[1])
+		if k < prevK {
+			t.Errorf("KMin should grow with Pf: %v", tbl.Rows)
+		}
+		prevK = k
+		bound := parseFloat(t, row[2])
+		if bound > 0.01+1e-9 {
+			t.Errorf("bound %v exceeds budget", bound)
+		}
+		rate := parseFloat(t, row[3])
+		gated := parseFloat(t, row[4])
+		if gated > rate+1e-9 {
+			t.Errorf("gated rate %v exceeds ungated %v", gated, rate)
+		}
+	}
+}
+
+func TestBoundaryTable(t *testing.T) {
+	tbl, err := Boundary(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		conf := parseFloat(t, row[2])
+		unconf := parseFloat(t, row[3])
+		if unconf > conf+0.05 {
+			t.Errorf("unconfined %v should not exceed confined %v", unconf, conf)
+		}
+	}
+}
+
+func TestCommCheckTable(t *testing.T) {
+	tbl, err := CommCheck(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// More nodes improve connectivity.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	reach := strings.Split(last[2], "/")
+	num, _ := strconv.Atoi(reach[0])
+	den, _ := strconv.Atoi(reach[1])
+	if num*10 < den*9 {
+		t.Errorf("at N=240 at least 90%% should be reachable: %s", last[2])
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite skipped in -short mode")
+	}
+	opt := quickOpt()
+	opt.Trials = 200
+	tables, err := All(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 14 {
+		t.Fatalf("tables = %d, want 14", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || len(tbl.Rows) == 0 {
+			t.Errorf("table %q empty", tbl.ID)
+		}
+		if ids[tbl.ID] {
+			t.Errorf("duplicate table id %q", tbl.ID)
+		}
+		ids[tbl.ID] = true
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	tbl, err := Latency(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevA, prevS := 0.0, 0.0
+	for _, row := range tbl.Rows {
+		a := parseFloat(t, row[1])
+		s := parseFloat(t, row[2])
+		if a < prevA-1e-9 || s < prevS-1e-9 {
+			t.Fatalf("latency CDFs must be monotone: %v", row)
+		}
+		if d := a - s; d > 0.08 || d < -0.08 {
+			t.Errorf("analysis/simulation latency gap too large: %v", row)
+		}
+		prevA, prevS = a, s
+	}
+	if chart, ok := Chart(tbl); !ok || !strings.Contains(chart, "analysis") {
+		t.Error("latency table should chart")
+	}
+}
+
+func TestTApproachExplosionTable(t *testing.T) {
+	tbl, err := TApproachExplosion(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "yes" && row[4] != "-" {
+			t.Errorf("T-approach should match M-S where feasible: %v", row)
+		}
+	}
+	// Peak states grow with ms.
+	a, _ := strconv.Atoi(tbl.Rows[0][2])
+	b, _ := strconv.Atoi(tbl.Rows[1][2])
+	if b <= a {
+		t.Errorf("peak states should grow with ms: %v vs %v", a, b)
+	}
+}
+
+func TestChartCoverage(t *testing.T) {
+	opt := quickOpt()
+	opt.Trials = 150
+	for _, runner := range []func(Options) (*Table, error){Fig8, Fig9a} {
+		tbl, err := runner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chart, ok := Chart(tbl)
+		if !ok || chart == "" {
+			t.Errorf("table %s should chart", tbl.ID)
+		}
+	}
+	other, err := CommCheck(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Chart(other); ok {
+		t.Error("comm table should not chart")
+	}
+}
+
+func TestCoverageTable(t *testing.T) {
+	tbl, err := Coverage(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, row := range tbl.Rows {
+		covered := parseFloat(t, row[1])
+		twoCov := parseFloat(t, row[2])
+		if covered < prev-0.02 {
+			t.Errorf("coverage should grow with N: %v", tbl.Rows)
+		}
+		prev = covered
+		if twoCov > covered+1e-9 {
+			t.Errorf("2-coverage cannot exceed 1-coverage: %v", row)
+		}
+		if row[4] != "true" {
+			t.Errorf("ONR deployments should be breachable: %v", row)
+		}
+	}
+}
+
+func TestEndToEndTable(t *testing.T) {
+	opt := quickOpt()
+	opt.Trials = 250
+	tbl, err := EndToEnd(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		ana := parseFloat(t, row[1])
+		e2e := parseFloat(t, row[2])
+		frac := parseFloat(t, row[3])
+		if frac < 0 || frac > 1 {
+			t.Errorf("delivered fraction %v out of range", frac)
+		}
+		// End-to-end can only lose reports relative to the sensing model.
+		if e2e > ana+0.08 {
+			t.Errorf("end-to-end %v above analysis %v", e2e, ana)
+		}
+	}
+	// The last (largest N) row should deliver nearly everything.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if parseFloat(t, last[3]) < 0.95 {
+		t.Errorf("at N=240 delivery should be near-total: %v", last[3])
+	}
+}
+
+func TestSensitivitiesTable(t *testing.T) {
+	tbl, err := Sensitivities(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		e := parseFloat(t, row[2])
+		if row[0] == "FieldSide" && e >= 0 {
+			t.Errorf("FieldSide elasticity should be negative: %v", row)
+		}
+		if row[0] != "FieldSide" && e <= 0 {
+			t.Errorf("%s elasticity should be positive: %v", row[0], row)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/falsealarm"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/sim"
+)
+
+// Timing reproduces the Section-3.4.5 execution-time comparison (E5): the
+// M-S-approach completes in well under a second while the literal
+// S-approach's enumeration cost explodes with G; the paper reports "many
+// days" versus "1 minute". Literal runs are measured up to a feasible G and
+// extrapolated with the paper's O(ms^2G) cost model beyond it.
+func Timing(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := detect.Defaults().WithN(240)
+	t := &Table{
+		ID:      "timing",
+		Title:   "Execution time: M-S-approach vs S-approach at matched 99% accuracy",
+		Columns: []string{"method", "G/gh/g", "time", "notes"},
+	}
+	timeIt := func(f func() error) (time.Duration, error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	gh, err := detect.RequiredHeadG(p, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	g, err := detect.RequiredBodyG(p, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	dMSConv, err := timeIt(func() error {
+		_, err := detect.MSApproach(p, detect.MSOptions{Gh: gh, G: g})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("M-S (convolution)", fmt.Sprintf("gh=%d g=%d", gh, g), dMSConv.String(), "default evaluator")
+
+	dMSMat, err := timeIt(func() error {
+		_, err := detect.MSApproach(p, detect.MSOptions{Gh: gh, G: g, Evaluator: detect.EvaluatorMatrix})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("M-S (matrix, Eq.12)", fmt.Sprintf("gh=%d g=%d", gh, g), dMSMat.String(), "paper-faithful evaluator")
+
+	gReq, err := detect.RequiredSG(p, 0.99)
+	if err != nil {
+		return nil, err
+	}
+	dSFast, err := timeIt(func() error {
+		_, err := detect.SApproach(p, detect.SOptions{G: gReq})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("S (mixture-convolution)", fmt.Sprintf("G=%d", gReq), dSFast.String(),
+		"our polynomial reformulation (not in the paper)")
+
+	// Literal Algorithm 1 up to a feasible G, then extrapolate.
+	gLit := 4
+	if opt.Quick {
+		gLit = 3
+	}
+	dLit, err := timeIt(func() error {
+		_, err := detect.SApproach(p, detect.SOptions{G: gLit, Literal: true})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("S (literal Algorithm 1)", fmt.Sprintf("G=%d", gLit), dLit.String(), "measured")
+	scale := detect.SApproachCost(p, gReq) / detect.SApproachCost(p, gLit)
+	extrap := time.Duration(float64(dLit) * scale)
+	t.AddRow("S (literal, extrapolated)", fmt.Sprintf("G=%d", gReq),
+		extrap.String(), fmt.Sprintf("O(ms^2G) scaling x%.3g", scale))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: S-approach runs for days, M-S-approach finishes within 1 minute (ours: %v)", dMSMat))
+	return t, nil
+}
+
+// ExtensionH runs the Section-4 extension (E6): detection probability when
+// the K reports must come from at least h distinct nodes.
+func ExtensionH(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "extension-h",
+		Title:   "Extension: at least K reports from at least h distinct nodes",
+		Columns: []string{"N", "h", "detection_prob"},
+	}
+	ns := []int{60, 120, 240}
+	if opt.Quick {
+		ns = []int{120}
+	}
+	for _, n := range ns {
+		p := detect.Defaults().WithN(n)
+		for h := 1; h <= 4; h++ {
+			res, err := detect.MSApproachNodes(p, h, detect.MSOptions{Gh: 3, G: 3})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, h, res.DetectionProb)
+		}
+	}
+	t.Notes = append(t.Notes, "h=1 equals the base analysis; probability decreases with h")
+	return t, nil
+}
+
+// KMinTable computes the exact k lower bound for a false alarm budget
+// across per-sensor false alarm rates (E7, the paper's future work), with
+// Monte Carlo rates for the chosen k, gated and ungated.
+func KMinTable(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "kmin",
+		Title:   "Minimal K meeting a 1% false-alarm budget over a 1-day horizon",
+		Columns: []string{"Pf", "KMin", "union_bound", "sim_rate", "sim_rate_gated"},
+	}
+	horizon := 1440
+	trials := 300
+	if opt.Quick {
+		horizon = 240
+		trials = 80
+	}
+	for _, pf := range []float64{1e-5, 1e-4, 1e-3} {
+		m := falsealarm.Model{N: 120, Pf: pf, M: 20}
+		k, err := falsealarm.KMin(m, horizon, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		bound := m.HorizonUnionBound(k, horizon)
+		simOpt := falsealarm.SimOptions{
+			FieldSide: 32000, Rs: 1000, MaxSpeed: 10, Period: time.Minute,
+			Trials: trials, Seed: opt.Seed + int64(pf*1e7),
+		}
+		rate, err := falsealarm.SimulateRate(m, k, horizon, simOpt)
+		if err != nil {
+			return nil, err
+		}
+		simOpt.Gated = true
+		gated, err := falsealarm.SimulateRate(m, k, horizon, simOpt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0e", pf), k, bound, rate, gated)
+	}
+	t.Notes = append(t.Notes,
+		"KMin guarantees the budget by union bound; track gating only lowers the realized rate",
+		"Pf=1e-4 recovers the paper's empirically chosen k=5")
+	return t, nil
+}
+
+// Boundary quantifies the border effect (A2): confined tracks (the
+// analysis assumption) vs unconfined tracks that may exit the field.
+func Boundary(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "boundary",
+		Title:   "Boundary handling: confined (analysis assumption) vs unconfined tracks",
+		Columns: []string{"N", "analysis", "sim_confined", "sim_unconfined"},
+	}
+	ns := nSweep(opt.Quick)
+	for _, n := range ns {
+		p := detect.Defaults().WithN(n)
+		ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3})
+		if err != nil {
+			return nil, err
+		}
+		conf, err := sim.Run(sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n)})
+		if err != nil {
+			return nil, err
+		}
+		unconf, err := sim.Run(sim.Config{
+			Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n),
+			Confine: sim.ConfineNone,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, ana.DetectionProb, conf.DetectionProb, unconf.DetectionProb)
+	}
+	t.Notes = append(t.Notes,
+		"unconfined tracks leave the field and lose reports; the analysis models the confined case")
+	return t, nil
+}
+
+// CommCheck verifies the communication assumption (A3): with the ONR 6 km
+// communication range, what fraction of nodes can deliver a report to a
+// central base within one sensing period.
+func CommCheck(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "comm",
+		Title:   "Multi-hop delivery to a central base (6 km comm range, 10 s/hop, 1 min budget)",
+		Columns: []string{"N", "components", "reachable", "max_hops", "mean_hops", "greedy_ok", "within_budget"},
+	}
+	ns := []int{60, 120, 180, 240}
+	if opt.Quick {
+		ns = []int{60, 240}
+	}
+	bounds := geom.Square(32000)
+	center := geom.Point{X: 16000, Y: 16000}
+	for _, n := range ns {
+		rng := field.NewRand(field.DeriveSeed(opt.Seed, int64(n)))
+		pts, err := field.Uniform(n, bounds, rng)
+		if err != nil {
+			return nil, err
+		}
+		base := 0
+		for i, p := range pts {
+			if p.Dist(center) < pts[base].Dist(center) {
+				base = i
+			}
+		}
+		net, err := netsim.New(pts, 6000, bounds)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := net.Delivery(base, 10*time.Second, time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, net.Components(), fmt.Sprintf("%d/%d", stats.Reachable, stats.Nodes),
+			stats.MaxHops, stats.MeanHops, stats.GreedyOK, stats.WithinBudget)
+	}
+	t.Notes = append(t.Notes,
+		"paper assumes ~6 hops complete within one sensing period; this measures it per deployment")
+	return t, nil
+}
+
+// All runs every experiment in DESIGN.md order.
+func All(opt Options) ([]*Table, error) {
+	runners := []func(Options) (*Table, error){
+		Fig8, Fig9a, Fig9b, Fig9c, Timing, ExtensionH, KMinTable, Boundary, CommCheck,
+		Latency, TApproachExplosion, Coverage, EndToEnd, Sensitivities,
+	}
+	tables := make([]*Table, 0, len(runners))
+	for _, run := range runners {
+		tbl, err := run(opt)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}

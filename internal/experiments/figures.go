@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/sim"
+	"github.com/groupdetect/gbd/internal/target"
+)
+
+// nSweep returns the node-count sweep for the figure-9 experiments.
+func nSweep(quick bool) []int {
+	if quick {
+		return []int{60, 150, 240}
+	}
+	return []int{60, 90, 120, 150, 180, 210, 240}
+}
+
+// Fig8 reproduces Figure 8: the smallest g and gh (M-S-approach) and G
+// (S-approach) satisfying 99% analysis accuracy as the number of deployed
+// nodes grows.
+func Fig8(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Required g, gh (M-S-approach) and G (S-approach) for 99% analysis accuracy",
+		Columns: []string{"N", "g", "gh", "G"},
+	}
+	step := 20
+	if opt.Quick {
+		step = 50
+	}
+	maxRatio := 0.0
+	for n := 60; n <= 260; n += step {
+		p := detect.Defaults().WithN(n)
+		g, err := detect.RequiredBodyG(p, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		gh, err := detect.RequiredHeadG(p, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		gs, err := detect.RequiredSG(p, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		if r := float64(gs) / float64(max(gh, 1)); r > maxRatio {
+			maxRatio = r
+		}
+		t.AddRow(n, g, gh, gs)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("shape check: G exceeds gh by up to %.1fx; paper reports G >> gh >= g", maxRatio))
+	return t, nil
+}
+
+// fig9Point holds one analysis-vs-simulation comparison point.
+type fig9Point struct {
+	v        float64
+	n        int
+	analysis float64
+	simP     float64
+	ciLo     float64
+	ciHi     float64
+}
+
+func runFig9Sweep(opt Options, normalize bool, model func(p detect.Params) target.Model) ([]fig9Point, error) {
+	var points []fig9Point
+	for _, v := range []float64{4, 10} {
+		for _, n := range nSweep(opt.Quick) {
+			p := detect.Defaults().WithN(n).WithV(v)
+			ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3, NoNormalize: !normalize})
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{
+				Params: p,
+				Trials: opt.Trials,
+				Seed:   opt.Seed + int64(n) + int64(1000*v),
+			}
+			if model != nil {
+				cfg.Model = model(p)
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, fig9Point{
+				v: v, n: n,
+				analysis: ana.DetectionProb,
+				simP:     res.DetectionProb,
+				ciLo:     res.CI.Lo,
+				ciHi:     res.CI.Hi,
+			})
+		}
+	}
+	return points, nil
+}
+
+func fig9Table(id, title string, points []fig9Point) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"V(m/s)", "N", "analysis", "simulation", "sim95%lo", "sim95%hi", "abs_err"},
+	}
+	maxErr := 0.0
+	for _, pt := range points {
+		err := math.Abs(pt.analysis - pt.simP)
+		if err > maxErr {
+			maxErr = err
+		}
+		t.AddRow(pt.v, pt.n, pt.analysis, pt.simP, pt.ciLo, pt.ciHi, err)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("max |analysis - simulation| = %.4f", maxErr))
+	return t
+}
+
+// Fig9a reproduces Figure 9(a): normalized M-S analysis vs straight-line
+// simulation for V = 4 and 10 m/s across the node sweep.
+func Fig9a(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	points, err := runFig9Sweep(opt, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := fig9Table("fig9a", "Detection probability, analysis vs simulation (straight-line target)", points)
+	// Shape note: faster target detected more often.
+	for _, n := range nSweep(opt.Quick) {
+		var slow, fast float64
+		for _, pt := range points {
+			if pt.n == n && pt.v == 4 {
+				slow = pt.simP
+			}
+			if pt.n == n && pt.v == 10 {
+				fast = pt.simP
+			}
+		}
+		if fast < slow {
+			t.Notes = append(t.Notes, fmt.Sprintf("WARNING: V=10 below V=4 at N=%d", n))
+		}
+	}
+	return t, nil
+}
+
+// Fig9b reproduces Figure 9(b): the same comparison without Eq. (13)
+// normalization; the analysis now under-reports and the error grows with N
+// and V.
+func Fig9b(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	points, err := runFig9Sweep(opt, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := fig9Table("fig9b", "Detection probability with un-normalized analysis", points)
+	t.ID = "fig9b"
+	var last fig9Point
+	for _, pt := range points {
+		if pt.v == 10 && pt.n == 240 {
+			last = pt
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"error at N=240, V=10: %.4f (paper: above 4%%; equals ~1 - etaMS)", last.simP-last.analysis))
+	return t, nil
+}
+
+// Fig9c reproduces Figure 9(c): the straight-line analysis against a
+// random-walk target (new heading within [-pi/4, pi/4] each period).
+func Fig9c(opt Options) (*Table, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	points, err := runFig9Sweep(opt, true, func(p detect.Params) target.Model {
+		return target.RandomWalk{Step: p.Vt(), MaxTurn: math.Pi / 4}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := fig9Table("fig9c", "Straight-line analysis vs random-walk simulation", points)
+	above := 0
+	for _, pt := range points {
+		if pt.simP > pt.analysis+0.01 {
+			above++
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"analysis should upper-bound the random walk: %d/%d points above analysis by >1%%", above, len(points)))
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+// Index is a uniform-grid spatial index over sensor positions. The
+// simulator's hot query is "which sensors are within Rs of this period's
+// track segment"; the grid limits the exact distance tests to cells whose
+// bounding boxes intersect the inflated segment.
+type Index struct {
+	bounds geom.Rect
+	cell   float64
+	cols   int
+	rows   int
+	points []geom.Point
+	cells  [][]int32 // cells[row*cols+col] lists point indices
+}
+
+// NewIndex builds an index over points with the given cell size. Points
+// outside bounds are clamped into the border cells (deployments generated
+// by this package are always inside).
+func NewIndex(points []geom.Point, bounds geom.Rect, cellSize float64) (*Index, error) {
+	if bounds.Area() <= 0 {
+		return nil, fmt.Errorf("empty bounds %+v: %w", bounds, ErrDeploy)
+	}
+	if cellSize <= 0 || math.IsNaN(cellSize) {
+		return nil, fmt.Errorf("cell size %v: %w", cellSize, ErrDeploy)
+	}
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	cols := int(math.Ceil(w / cellSize))
+	rows := int(math.Ceil(h / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	idx := &Index{
+		bounds: bounds,
+		cell:   cellSize,
+		cols:   cols,
+		rows:   rows,
+		points: append([]geom.Point(nil), points...),
+		cells:  make([][]int32, cols*rows),
+	}
+	for i, p := range idx.points {
+		c := idx.cellIndex(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return len(idx.points) }
+
+// Point returns the indexed point with the given id.
+func (idx *Index) Point(id int) geom.Point { return idx.points[id] }
+
+func (idx *Index) colOf(x float64) int {
+	c := int((x - idx.bounds.MinX) / idx.cell)
+	if c < 0 {
+		return 0
+	}
+	if c >= idx.cols {
+		return idx.cols - 1
+	}
+	return c
+}
+
+func (idx *Index) rowOf(y float64) int {
+	r := int((y - idx.bounds.MinY) / idx.cell)
+	if r < 0 {
+		return 0
+	}
+	if r >= idx.rows {
+		return idx.rows - 1
+	}
+	return r
+}
+
+func (idx *Index) cellIndex(p geom.Point) int {
+	return idx.rowOf(p.Y)*idx.cols + idx.colOf(p.X)
+}
+
+// QuerySegment appends to dst the ids of all points within distance r of
+// segment s and returns the extended slice. Pass a reused dst to avoid
+// allocation in the simulation loop.
+func (idx *Index) QuerySegment(s geom.Segment, r float64, dst []int) []int {
+	if r < 0 {
+		return dst
+	}
+	minX := math.Min(s.A.X, s.B.X) - r
+	maxX := math.Max(s.A.X, s.B.X) + r
+	minY := math.Min(s.A.Y, s.B.Y) - r
+	maxY := math.Max(s.A.Y, s.B.Y) + r
+	c0, c1 := idx.colOf(minX), idx.colOf(maxX)
+	r0, r1 := idx.rowOf(minY), idx.rowOf(maxY)
+	r2 := r * r
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, id := range idx.cells[row*idx.cols+col] {
+				if s.Dist2(idx.points[id]) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// QueryCircle appends to dst the ids of all points within distance r of
+// center and returns the extended slice.
+func (idx *Index) QueryCircle(center geom.Point, r float64, dst []int) []int {
+	return idx.QuerySegment(geom.Segment{A: center, B: center}, r, dst)
+}

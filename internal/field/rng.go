@@ -1,0 +1,30 @@
+// Package field provides the deployment substrate for the simulator:
+// deterministic random number utilities, sensor placement generators, and a
+// uniform-grid spatial index for range queries along a target track.
+package field
+
+import "math/rand"
+
+// splitMix64 advances a SplitMix64 state and returns the next output. It is
+// the standard seed-derivation mixer: consecutive stream indices produce
+// decorrelated 64-bit values.
+func splitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives an independent child seed from a base
+// seed and a stream index. Simulation trials use it so that trial i is
+// reproducible regardless of how trials are scheduled across workers.
+func DeriveSeed(base int64, stream int64) int64 {
+	mixed := splitMix64(uint64(base)*0x9e3779b97f4a7c15 + uint64(stream))
+	return int64(mixed)
+}
+
+// NewRand returns a deterministic *rand.Rand for the given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

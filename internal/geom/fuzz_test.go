@@ -1,0 +1,97 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLensArea checks the lens-area invariants over arbitrary inputs:
+// bounded by the full circle, zero beyond tangency, symmetric in d.
+func FuzzLensArea(f *testing.F) {
+	f.Add(1.0, 0.5)
+	f.Add(1000.0, 600.0)
+	f.Add(2.0, 3.9)
+	f.Add(5.0, 0.0)
+	f.Fuzz(func(t *testing.T, r, d float64) {
+		if math.IsNaN(r) || math.IsNaN(d) || math.IsInf(r, 0) || math.IsInf(d, 0) {
+			t.Skip()
+		}
+		a := LensArea(r, d)
+		if math.IsNaN(a) || a < 0 {
+			t.Fatalf("LensArea(%v, %v) = %v", r, d, a)
+		}
+		if a > CircleArea(r)+1e-9*CircleArea(r) {
+			t.Fatalf("lens %v exceeds circle %v", a, CircleArea(r))
+		}
+		if math.Abs(d) >= 2*r && a != 0 {
+			t.Fatalf("disjoint circles should give 0, got %v", a)
+		}
+		if sym := LensArea(r, -d); math.Abs(sym-a) > 1e-9*(a+1) {
+			t.Fatalf("asymmetric: %v vs %v", a, sym)
+		}
+	})
+}
+
+// FuzzSegmentDist checks the point-segment distance invariants: bounded by
+// endpoint distances, zero for points on the segment.
+func FuzzSegmentDist(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 5.0, 3.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 4.0, 5.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, px, py float64) {
+		vals := []float64{ax, ay, bx, by, px, py}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e9 {
+				t.Skip()
+			}
+		}
+		s := Segment{Point{ax, ay}, Point{bx, by}}
+		p := Point{px, py}
+		d := s.Dist(p)
+		if math.IsNaN(d) || d < 0 {
+			t.Fatalf("Dist = %v", d)
+		}
+		da, db := p.Dist(s.A), p.Dist(s.B)
+		if d > math.Min(da, db)+1e-9*(1+math.Min(da, db)) {
+			t.Fatalf("segment distance %v exceeds endpoint distance %v", d, math.Min(da, db))
+		}
+		if d2 := s.Dist2(p); math.Abs(d2-d*d) > 1e-6*(1+d*d) {
+			t.Fatalf("Dist2 %v inconsistent with Dist %v", d2, d)
+		}
+	})
+}
+
+// FuzzDRGeometryPartition checks that the Eq. (6)/(8) subareas always
+// partition their NEDRs for arbitrary positive geometry.
+func FuzzDRGeometryPartition(f *testing.F) {
+	f.Add(1000.0, 600.0)
+	f.Add(1000.0, 240.0)
+	f.Add(1.0, 10.0)
+	f.Fuzz(func(t *testing.T, rs, vt float64) {
+		if !(rs > 1e-3) || !(vt > 1e-3) || rs > 1e6 || vt > 1e6 {
+			t.Skip()
+		}
+		g, err := NewDRGeometry(rs, vt)
+		if err != nil {
+			t.Skip()
+		}
+		if g.Ms > 1000 {
+			t.Skip() // pathological ratio, too slow to sum
+		}
+		var sumH, sumB float64
+		for i := 1; i <= g.Ms+1; i++ {
+			h := g.AreaHClosed(i)
+			b := g.AreaB(i)
+			if h < -1e-6 || b < -1e-6 {
+				t.Fatalf("negative subarea at i=%d: %v %v", i, h, b)
+			}
+			sumH += h
+			sumB += b
+		}
+		if math.Abs(sumH-g.DRArea()) > 1e-6*g.DRArea() {
+			t.Fatalf("AreaH does not partition the DR: %v vs %v", sumH, g.DRArea())
+		}
+		if math.Abs(sumB-g.BodyNEDRArea()) > 1e-6*g.BodyNEDRArea() {
+			t.Fatalf("AreaB does not partition the NEDR: %v vs %v", sumB, g.BodyNEDRArea())
+		}
+	})
+}

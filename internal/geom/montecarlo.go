@@ -1,0 +1,30 @@
+package geom
+
+import "math/rand"
+
+// MonteCarloArea estimates the area of {p in bounds : inside(p)} by uniform
+// sampling with n points drawn from rng. It is used by tests to validate the
+// closed-form region areas against the geometric ground truth, and by the
+// examples to estimate coverage of irregular deployments.
+func MonteCarloArea(bounds Rect, n int, rng *rand.Rand, inside func(Point) bool) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := bounds.Area()
+	if total == 0 {
+		return 0
+	}
+	hits := 0
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	for i := 0; i < n; i++ {
+		p := Point{
+			X: bounds.MinX + rng.Float64()*w,
+			Y: bounds.MinY + rng.Float64()*h,
+		}
+		if inside(p) {
+			hits++
+		}
+	}
+	return total * float64(hits) / float64(n)
+}

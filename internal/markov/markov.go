@@ -1,0 +1,287 @@
+// Package markov implements discrete-time Markov chains over a finite
+// integer state space. It provides the paper-faithful evaluation path for
+// the M-S-approach (Section 3.4): the Head, Body and Tail stages each define
+// a transition matrix whose rows shift probability mass upward by the number
+// of detection reports generated in that stage's NEDR, and Eq. (12)
+// multiplies the initial vector through all of them.
+//
+// Beyond the paper's needs, the package includes general chain utilities
+// (stationary distributions, absorption analysis) used by the false-alarm
+// substrate and available to library users.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/groupdetect/gbd/internal/matrix"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// ErrChain reports a malformed chain or distribution.
+var ErrChain = errors.New("markov: invalid chain")
+
+// Chain is a discrete-time Markov chain with states 0..n-1. The transition
+// matrix may be sub-stochastic: the truncated analysis deliberately drops
+// the probability mass of configurations with more than g sensors per
+// region, and Eq. (13) renormalizes at the end.
+type Chain struct {
+	t *matrix.Matrix
+}
+
+// New builds a chain from a square transition matrix whose entries are
+// non-negative and whose rows sum to at most 1 (within tol).
+func New(t *matrix.Matrix, tol float64) (*Chain, error) {
+	if t.Rows() != t.Cols() {
+		return nil, fmt.Errorf("transition matrix %dx%d not square: %w", t.Rows(), t.Cols(), ErrChain)
+	}
+	for i := 0; i < t.Rows(); i++ {
+		var sum float64
+		for _, v := range t.Row(i) {
+			if v < -tol || math.IsNaN(v) {
+				return nil, fmt.Errorf("row %d has invalid entry %v: %w", i, v, ErrChain)
+			}
+			sum += v
+		}
+		if sum > 1+tol {
+			return nil, fmt.Errorf("row %d sums to %v > 1: %w", i, sum, ErrChain)
+		}
+	}
+	return &Chain{t: t.Clone()}, nil
+}
+
+// ShiftKernel builds the transition matrix used by every stage of the
+// M-S-approach: from state s (s reports so far), move to state s+m with
+// probability inc[m]. size is the number of states (the paper uses MZ+1).
+//
+// When saturate is true, mass that would move past the last state
+// accumulates in it — this implements the paper's merged "state k..MZ" when
+// only the tail probability matters. When false, such mass is dropped
+// (used to detect sizing bugs in tests; the analysis always saturates or
+// sizes the space so no overflow occurs).
+func ShiftKernel(inc []float64, size int, saturate bool) (*Chain, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("kernel size %d: %w", size, ErrChain)
+	}
+	var total numeric.Kahan
+	for m, p := range inc {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("increment %d has invalid probability %v: %w", m, p, ErrChain)
+		}
+		total.Add(p)
+	}
+	if total.Sum() > 1+1e-9 {
+		return nil, fmt.Errorf("increments sum to %v > 1: %w", total.Sum(), ErrChain)
+	}
+	t, err := matrix.New(size, size)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < size; s++ {
+		row := t.Row(s)
+		for m, p := range inc {
+			if p == 0 {
+				continue
+			}
+			j := s + m
+			if j >= size {
+				if saturate {
+					row[size-1] += p
+				}
+				continue
+			}
+			row[j] += p
+		}
+	}
+	return &Chain{t: t}, nil
+}
+
+// States returns the number of states.
+func (c *Chain) States() int { return c.t.Rows() }
+
+// Matrix returns a copy of the transition matrix.
+func (c *Chain) Matrix() *matrix.Matrix { return c.t.Clone() }
+
+// Step returns the distribution after one transition from v.
+func (c *Chain) Step(v []float64) ([]float64, error) {
+	return matrix.VecMul(v, c.t)
+}
+
+// Evolve returns the distribution after n transitions from v. For large n it
+// exponentiates the matrix once instead of stepping n times.
+func (c *Chain) Evolve(v []float64, n int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("evolve %d steps: %w", n, ErrChain)
+	}
+	if len(v) != c.States() {
+		return nil, fmt.Errorf("evolve with vector length %d, want %d: %w", len(v), c.States(), ErrChain)
+	}
+	// Stepping costs n*z^2; squaring costs log2(n)*z^3. Pick the cheaper.
+	if n <= 2*bitsLen(n)*c.States() {
+		out := append([]float64(nil), v...)
+		var err error
+		for i := 0; i < n; i++ {
+			out, err = c.Step(out)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	p, err := matrix.Pow(c.t, n)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.VecMul(v, p)
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Compose returns the chain whose single step applies c then d (the matrix
+// product c.T * d.T). This is how the Head, Body and Tail stages chain into
+// Eq. (12).
+func Compose(c, d *Chain) (*Chain, error) {
+	t, err := matrix.Mul(c.t, d.t)
+	if err != nil {
+		return nil, err
+	}
+	return &Chain{t: t}, nil
+}
+
+// Stationary estimates the stationary distribution of an irreducible,
+// aperiodic stochastic chain by power iteration from the uniform
+// distribution, stopping when successive iterates differ by less than tol in
+// max norm or after maxIter steps. It returns an error if the chain is
+// sub-stochastic (mass would leak) or the iteration fails to converge.
+func (c *Chain) Stationary(tol float64, maxIter int) ([]float64, error) {
+	n := c.States()
+	if !c.t.IsRowStochastic(1, 1e-9) {
+		return nil, fmt.Errorf("stationary of sub-stochastic chain: %w", ErrChain)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next, err := c.Step(v)
+		if err != nil {
+			return nil, err
+		}
+		var maxd float64
+		for i := range v {
+			if d := math.Abs(next[i] - v[i]); d > maxd {
+				maxd = d
+			}
+		}
+		v = next
+		if maxd < tol {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("stationary did not converge in %d iterations: %w", maxIter, ErrChain)
+}
+
+// AbsorptionProbability returns, for each starting state, the probability of
+// eventually being absorbed into any of the given absorbing states, computed
+// by iterating the chain until the probabilities stabilize within tol. The
+// named states must actually be absorbing (self-loop probability 1).
+func (c *Chain) AbsorptionProbability(absorbing []int, tol float64, maxIter int) ([]float64, error) {
+	n := c.States()
+	isAbs := make([]bool, n)
+	for _, s := range absorbing {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("absorbing state %d out of range: %w", s, ErrChain)
+		}
+		if math.Abs(c.t.At(s, s)-1) > 1e-9 {
+			return nil, fmt.Errorf("state %d is not absorbing: %w", s, ErrChain)
+		}
+		isAbs[s] = true
+	}
+	// h[s] = P[absorbed | start s]; fixed point of h = T h with h=1 on the
+	// absorbing set. Gauss-Seidel style value iteration.
+	h := make([]float64, n)
+	for s := range h {
+		if isAbs[s] {
+			h[s] = 1
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		var maxd float64
+		for s := 0; s < n; s++ {
+			if isAbs[s] {
+				continue
+			}
+			var sum float64
+			for j, p := range c.t.Row(s) {
+				if p != 0 {
+					sum += p * h[j]
+				}
+			}
+			if d := math.Abs(sum - h[s]); d > maxd {
+				maxd = d
+			}
+			h[s] = sum
+		}
+		if maxd < tol {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("absorption iteration did not converge in %d iterations: %w", maxIter, ErrChain)
+}
+
+// HittingTime returns, for each starting state, the expected number of
+// steps until the chain first enters any of the given target states
+// (which need not be absorbing), computed by value iteration on
+// h = 1 + T h with h = 0 on the target set. States that cannot reach the
+// target diverge; iteration stops at maxIter with an error if the values
+// have not stabilized within tol.
+func (c *Chain) HittingTime(targets []int, tol float64, maxIter int) ([]float64, error) {
+	n := c.States()
+	if !c.t.IsRowStochastic(1, 1e-9) {
+		return nil, fmt.Errorf("hitting time of sub-stochastic chain: %w", ErrChain)
+	}
+	isTarget := make([]bool, n)
+	for _, s := range targets {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("target state %d out of range: %w", s, ErrChain)
+		}
+		isTarget[s] = true
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no target states: %w", ErrChain)
+	}
+	h := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		var maxd float64
+		for s := 0; s < n; s++ {
+			if isTarget[s] {
+				continue
+			}
+			sum := 1.0
+			for j, p := range c.t.Row(s) {
+				if p != 0 {
+					sum += p * h[j]
+				}
+			}
+			if d := math.Abs(sum - h[s]); d > maxd {
+				maxd = d
+			}
+			h[s] = sum
+		}
+		if maxd < tol {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("hitting time did not converge in %d iterations: %w", maxIter, ErrChain)
+}

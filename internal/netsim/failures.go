@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+// Subset returns the induced sub-network of the nodes with keep[i] true,
+// along with the mapping from new node ids to original ids. It is the
+// failure-injection primitive: kill nodes, rebuild connectivity, re-check
+// delivery.
+func (n *Network) Subset(keep []bool, bounds geom.Rect) (*Network, []int, error) {
+	if len(keep) != len(n.nodes) {
+		return nil, nil, fmt.Errorf("keep mask length %d, want %d: %w", len(keep), len(n.nodes), ErrNetwork)
+	}
+	var pts []geom.Point
+	var mapping []int
+	for i, k := range keep {
+		if k {
+			pts = append(pts, n.nodes[i])
+			mapping = append(mapping, i)
+		}
+	}
+	sub, err := New(pts, n.commRange, bounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}
+
+// RandomFailures returns a keep mask where each node independently
+// survives with probability survive, except the nodes listed in protect
+// (e.g. the base station), which always survive.
+func RandomFailures(nodes int, survive float64, rng *rand.Rand, protect ...int) ([]bool, error) {
+	if survive < 0 || survive > 1 {
+		return nil, fmt.Errorf("survival probability %v: %w", survive, ErrNetwork)
+	}
+	if nodes < 0 {
+		return nil, fmt.Errorf("nodes = %d: %w", nodes, ErrNetwork)
+	}
+	keep := make([]bool, nodes)
+	for i := range keep {
+		keep[i] = rng.Float64() < survive
+	}
+	for _, p := range protect {
+		if p < 0 || p >= nodes {
+			return nil, fmt.Errorf("protected node %d out of range: %w", p, ErrNetwork)
+		}
+		keep[p] = true
+	}
+	return keep, nil
+}

@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+func TestSubsetValidation(t *testing.T) {
+	n := mustNetwork(t, line(4, 10), 15, geom.Square(100))
+	if _, _, err := n.Subset([]bool{true}, geom.Square(100)); err == nil {
+		t.Error("wrong mask length should fail")
+	}
+}
+
+func TestSubsetRemovesNodes(t *testing.T) {
+	n := mustNetwork(t, line(5, 10), 15, geom.Square(100))
+	// Kill the middle node: the line splits in two.
+	keep := []bool{true, true, false, true, true}
+	sub, mapping, err := n.Subset(keep, geom.Square(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 4 {
+		t.Fatalf("subset size %d", sub.Len())
+	}
+	if sub.Components() != 2 {
+		t.Errorf("components = %d, want 2 after cutting the line", sub.Components())
+	}
+	// Mapping points back to original ids, skipping the dead node.
+	want := []int{0, 1, 3, 4}
+	for i, m := range mapping {
+		if m != want[i] {
+			t.Fatalf("mapping = %v, want %v", mapping, want)
+		}
+	}
+	// Positions survive the remap.
+	if sub.Node(2) != n.Node(3) {
+		t.Error("subset node positions wrong")
+	}
+}
+
+func TestRandomFailures(t *testing.T) {
+	rng := field.NewRand(5)
+	keep, err := RandomFailures(1000, 0.7, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep[0] {
+		t.Error("protected node must survive")
+	}
+	alive := 0
+	for _, k := range keep {
+		if k {
+			alive++
+		}
+	}
+	if alive < 640 || alive > 760 {
+		t.Errorf("survivors = %d, expected ~700", alive)
+	}
+	if _, err := RandomFailures(10, 1.5, rng); err == nil {
+		t.Error("bad survival probability should fail")
+	}
+	if _, err := RandomFailures(-1, 0.5, rng); err == nil {
+		t.Error("negative nodes should fail")
+	}
+	if _, err := RandomFailures(10, 0.5, rng, 99); err == nil {
+		t.Error("out-of-range protect should fail")
+	}
+}
+
+func TestDeliveryDegradesGracefullyUnderFailures(t *testing.T) {
+	// The ONR network at N=240 keeps most nodes reachable at 90% survival
+	// but fragments heavily at 30%.
+	bounds := geom.Square(32000)
+	rng := field.NewRand(13)
+	pts, err := field.Uniform(240, bounds, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mustNetwork(t, pts, 6000, bounds)
+	base := 0
+
+	run := func(survive float64) float64 {
+		keep, err := RandomFailures(n.Len(), survive, rng, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, mapping, err := n.Subset(keep, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newBase := -1
+		for i, m := range mapping {
+			if m == base {
+				newBase = i
+				break
+			}
+		}
+		if newBase < 0 {
+			t.Fatal("protected base missing from subset")
+		}
+		stats, err := sub.Delivery(newBase, 10*time.Second, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Nodes == 0 {
+			return 0
+		}
+		return float64(stats.Reachable) / float64(stats.Nodes)
+	}
+
+	healthy := run(0.9)
+	crippled := run(0.3)
+	if healthy < 0.8 {
+		t.Errorf("90%% survival should keep most nodes reachable: %v", healthy)
+	}
+	if crippled >= healthy {
+		t.Errorf("30%% survival (%v) should be worse than 90%% (%v)", crippled, healthy)
+	}
+}

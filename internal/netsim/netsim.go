@@ -1,0 +1,293 @@
+// Package netsim models the multi-hop communication substrate the paper
+// assumes but does not simulate: sensors form a unit-disk graph over their
+// communication range and forward detection reports to a base station with
+// greedy geographic forwarding (GF/GPSR-style). The paper argues that with a
+// 6 km communication range every report reaches the base within one
+// 1-minute sensing period (at most ~6 hops); this package lets experiments
+// verify that claim for any deployment instead of assuming it.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+// ErrNetwork reports invalid network construction arguments.
+var ErrNetwork = errors.New("netsim: invalid network")
+
+// ErrUnreachable reports that no route exists.
+var ErrUnreachable = errors.New("netsim: destination unreachable")
+
+// ErrGreedyStuck reports a greedy-forwarding local minimum (a void with no
+// neighbor closer to the destination).
+var ErrGreedyStuck = errors.New("netsim: greedy forwarding stuck in local minimum")
+
+// Network is a static unit-disk communication graph over node positions.
+type Network struct {
+	nodes     []geom.Point
+	commRange float64
+	adj       [][]int32
+	comp      []int // connected component id per node
+	nComp     int
+}
+
+// New builds the unit-disk graph: nodes are adjacent when within commRange
+// of each other. bounds must contain the deployment (it sizes the internal
+// spatial index).
+func New(nodes []geom.Point, commRange float64, bounds geom.Rect) (*Network, error) {
+	if commRange <= 0 || math.IsNaN(commRange) {
+		return nil, fmt.Errorf("comm range %v: %w", commRange, ErrNetwork)
+	}
+	if bounds.Area() <= 0 {
+		return nil, fmt.Errorf("empty bounds: %w", ErrNetwork)
+	}
+	n := &Network{
+		nodes:     append([]geom.Point(nil), nodes...),
+		commRange: commRange,
+		adj:       make([][]int32, len(nodes)),
+	}
+	idx, err := field.NewIndex(n.nodes, bounds, commRange)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]int, 0, 32)
+	for i, p := range n.nodes {
+		buf = idx.QueryCircle(p, commRange, buf[:0])
+		for _, j := range buf {
+			if j != i {
+				n.adj[i] = append(n.adj[i], int32(j))
+			}
+		}
+	}
+	n.computeComponents()
+	return n, nil
+}
+
+func (n *Network) computeComponents() {
+	n.comp = make([]int, len(n.nodes))
+	for i := range n.comp {
+		n.comp[i] = -1
+	}
+	id := 0
+	queue := make([]int32, 0, len(n.nodes))
+	for i := range n.nodes {
+		if n.comp[i] >= 0 {
+			continue
+		}
+		n.comp[i] = id
+		queue = append(queue[:0], int32(i))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range n.adj[u] {
+				if n.comp[v] < 0 {
+					n.comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		id++
+	}
+	n.nComp = id
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.nodes) }
+
+// Node returns the position of node i.
+func (n *Network) Node(i int) geom.Point { return n.nodes[i] }
+
+// Degree returns the number of neighbors of node i.
+func (n *Network) Degree(i int) int { return len(n.adj[i]) }
+
+// Components returns the number of connected components (0 for an empty
+// network).
+func (n *Network) Components() int { return n.nComp }
+
+// Connected reports whether a and b are in the same component.
+func (n *Network) Connected(a, b int) bool {
+	return n.comp[a] == n.comp[b]
+}
+
+// ShortestHops returns the minimum hop count from src to dst by BFS.
+func (n *Network) ShortestHops(src, dst int) (int, error) {
+	if err := n.checkIDs(src, dst); err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, nil
+	}
+	if !n.Connected(src, dst) {
+		return 0, fmt.Errorf("node %d to %d: %w", src, dst, ErrUnreachable)
+	}
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range n.adj[u] {
+			if dist[v] >= 0 {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			if int(v) == dst {
+				return dist[v], nil
+			}
+			queue = append(queue, v)
+		}
+	}
+	return 0, fmt.Errorf("node %d to %d: %w", src, dst, ErrUnreachable)
+}
+
+// GreedyRoute returns the node sequence of greedy geographic forwarding
+// from src to dst: each hop goes to the neighbor strictly closest to the
+// destination. It fails with ErrGreedyStuck at a local minimum (the
+// situation GPSR's perimeter mode repairs; ShortestHops shows whether a
+// detour exists).
+func (n *Network) GreedyRoute(src, dst int) ([]int, error) {
+	if err := n.checkIDs(src, dst); err != nil {
+		return nil, err
+	}
+	path := []int{src}
+	cur := src
+	goal := n.nodes[dst]
+	for cur != dst {
+		best := -1
+		bestD := n.nodes[cur].Dist2(goal)
+		for _, v := range n.adj[cur] {
+			if d := n.nodes[v].Dist2(goal); d < bestD {
+				bestD = d
+				best = int(v)
+			}
+		}
+		if best < 0 {
+			return path, fmt.Errorf("at node %d toward %d: %w", cur, dst, ErrGreedyStuck)
+		}
+		cur = best
+		path = append(path, cur)
+		if len(path) > len(n.nodes) {
+			return path, fmt.Errorf("routing loop toward %d: %w", dst, ErrGreedyStuck)
+		}
+	}
+	return path, nil
+}
+
+func (n *Network) checkIDs(ids ...int) error {
+	for _, id := range ids {
+		if id < 0 || id >= len(n.nodes) {
+			return fmt.Errorf("node id %d out of range [0,%d): %w", id, len(n.nodes), ErrNetwork)
+		}
+	}
+	return nil
+}
+
+// DeliveryStats summarizes report delivery from every node to a base
+// station.
+type DeliveryStats struct {
+	// Nodes is the number of nodes evaluated (excluding the base).
+	Nodes int
+	// Reachable counts nodes with any multi-hop path to the base.
+	Reachable int
+	// GreedyOK counts nodes whose greedy route succeeds without perimeter
+	// recovery.
+	GreedyOK int
+	// MaxHops and MeanHops summarize shortest-path hop counts over
+	// reachable nodes.
+	MaxHops  int
+	MeanHops float64
+	// WithinBudget counts reachable nodes whose shortest path completes
+	// within the latency budget.
+	WithinBudget int
+}
+
+// Delivery evaluates delivery of a report from every node to the base
+// station with the given per-hop latency against a total budget (the
+// sensing period). This is the paper's "6-hop end-to-end communication can
+// be easily finished within a single sensing period" check, made
+// quantitative.
+func (n *Network) Delivery(base int, perHop, budget time.Duration) (DeliveryStats, error) {
+	if err := n.checkIDs(base); err != nil {
+		return DeliveryStats{}, err
+	}
+	if perHop <= 0 || budget <= 0 {
+		return DeliveryStats{}, fmt.Errorf("perHop %v, budget %v: %w", perHop, budget, ErrNetwork)
+	}
+	// Single BFS from the base computes all shortest hop counts.
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[base] = 0
+	queue := []int32{int32(base)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range n.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	stats := DeliveryStats{Nodes: len(n.nodes) - 1}
+	var hopSum int
+	maxHops := int(budget / perHop)
+	for i := range n.nodes {
+		if i == base {
+			continue
+		}
+		if dist[i] < 0 {
+			continue
+		}
+		stats.Reachable++
+		hopSum += dist[i]
+		if dist[i] > stats.MaxHops {
+			stats.MaxHops = dist[i]
+		}
+		if dist[i] <= maxHops {
+			stats.WithinBudget++
+		}
+		if _, err := n.GreedyRoute(i, base); err == nil {
+			stats.GreedyOK++
+		}
+	}
+	if stats.Reachable > 0 {
+		stats.MeanHops = float64(hopSum) / float64(stats.Reachable)
+	}
+	return stats, nil
+}
+
+// HopsFrom returns the shortest hop count from base to every node with a
+// single BFS: hops[i] is -1 for nodes disconnected from base. It is the
+// bulk companion to ShortestHops.
+func (n *Network) HopsFrom(base int) ([]int, error) {
+	if err := n.checkIDs(base); err != nil {
+		return nil, err
+	}
+	hops := make([]int, len(n.nodes))
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[base] = 0
+	queue := []int32{int32(base)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range n.adj[u] {
+			if hops[v] < 0 {
+				hops[v] = hops[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return hops, nil
+}

@@ -1,0 +1,49 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBinomialPMF checks PMF range and the CDF/tail complement over
+// arbitrary (n, k, p).
+func FuzzBinomialPMF(f *testing.F) {
+	f.Add(10, 3, 0.5)
+	f.Add(240, 5, 0.0042)
+	f.Add(1, 0, 1.0)
+	f.Add(0, 0, 0.0)
+	f.Fuzz(func(t *testing.T, n, k int, p float64) {
+		if n < 0 || n > 2000 || math.IsNaN(p) {
+			t.Skip()
+		}
+		p = math.Abs(math.Mod(p, 1))
+		v := BinomialPMF(n, k, p)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("BinomialPMF(%d, %d, %v) = %v", n, k, p, v)
+		}
+		cdf := BinomialCDF(n, k, p)
+		tail := BinomialTail(n, k+1, p)
+		if math.Abs(cdf+tail-1) > 1e-8 {
+			t.Fatalf("CDF %v + tail %v != 1", cdf, tail)
+		}
+	})
+}
+
+// FuzzLogChoose checks the Pascal identity in log space.
+func FuzzLogChoose(f *testing.F) {
+	f.Add(10, 3)
+	f.Add(500, 250)
+	f.Fuzz(func(t *testing.T, n, k int) {
+		if n < 1 || n > 5000 || k < 1 || k > n {
+			t.Skip()
+		}
+		lhs := Choose(n, k)
+		rhs := Choose(n-1, k-1) + Choose(n-1, k)
+		if math.IsInf(lhs, 1) || math.IsInf(rhs, 1) {
+			t.Skip() // overflow regime; log-space values remain usable
+		}
+		if !AlmostEqual(lhs, rhs, 1e-6, 1e-9) {
+			t.Fatalf("Pascal identity violated at (%d, %d): %v vs %v", n, k, lhs, rhs)
+		}
+	})
+}

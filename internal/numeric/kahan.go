@@ -1,0 +1,42 @@
+package numeric
+
+// Kahan is a compensated (Kahan-Babuska) accumulator. The zero value is an
+// empty sum ready to use. It keeps a running compensation term so that long
+// sums of small probabilities do not lose mass to rounding.
+type Kahan struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates x into the sum.
+func (k *Kahan) Add(x float64) {
+	t := k.sum + x
+	if abs(k.sum) >= abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *Kahan) Sum() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator back to an empty sum.
+func (k *Kahan) Reset() { k.sum, k.c = 0, 0 }
+
+// SumSlice returns the compensated sum of xs.
+func SumSlice(xs []float64) float64 {
+	var k Kahan
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

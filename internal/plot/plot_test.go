@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAddValidation(t *testing.T) {
+	c := New("t")
+	if err := c.Add("empty", nil, nil); err == nil {
+		t.Error("empty series should fail")
+	}
+	if err := c.Add("ragged", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if err := c.Add("nan", []float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN should fail")
+	}
+	if err := c.Add("inf", []float64{1}, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf should fail")
+	}
+	if err := c.Add("ok", []float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestAddCopiesData(t *testing.T) {
+	c := New("t")
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	if err := c.Add("s", x, y); err != nil {
+		t.Fatal(err)
+	}
+	x[0] = 99
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// The mutated x would shift the plotted range to include 99; the
+	// x-axis should still read 1..2.
+	if !strings.Contains(out, "1") || strings.Contains(out, "99") {
+		t.Errorf("Add should copy input:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if _, err := New("t").Render(); err == nil {
+		t.Error("rendering with no series should fail")
+	}
+}
+
+func TestRenderPlacesMarkers(t *testing.T) {
+	c := New("rising")
+	c.Width, c.Height = 21, 11
+	if err := c.Add("a", []float64{0, 10, 20}, []float64{0, 5, 10}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Title, 11 grid rows, axis, x labels, legend.
+	if lines[0] != "rising" {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	if strings.Count(out, "o") < 3+1 { // 3 points + legend marker
+		t.Errorf("markers missing:\n%s", out)
+	}
+	// Max y in the top row, min y in the bottom row of the grid.
+	if !strings.Contains(lines[1], "o") {
+		t.Errorf("top-right point not in first grid row:\n%s", out)
+	}
+	if !strings.Contains(lines[11], "o") {
+		t.Errorf("bottom-left point not in last grid row:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := New("two")
+	_ = c.Add("first", []float64{0, 1}, []float64{0, 1})
+	_ = c.Add("second", []float64{0, 1}, []float64{1, 0})
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("expected distinct markers:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	c := New("flat")
+	if err := c.Add("s", []float64{5}, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatalf("degenerate range should render: %v", err)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("point missing")
+	}
+}
+
+func TestRenderDefaultsApplied(t *testing.T) {
+	c := &Chart{Title: "d"} // zero width/height
+	if err := c.Add("s", []float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(out, "\n")) < 20 {
+		t.Error("default height not applied")
+	}
+}
+
+func TestXLabelShown(t *testing.T) {
+	c := New("l")
+	c.XLabel = "number of nodes"
+	_ = c.Add("s", []float64{0, 1}, []float64{0, 1})
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "number of nodes") {
+		t.Error("x label missing")
+	}
+}

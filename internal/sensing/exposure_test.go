@@ -1,0 +1,91 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+func TestNewExposureValidation(t *testing.T) {
+	if _, err := NewExposure(0, 1); err == nil {
+		t.Error("zero range should fail")
+	}
+	if _, err := NewExposure(1, 0); err == nil {
+		t.Error("zero lambda should fail")
+	}
+	if _, err := NewExposure(1000, 0.05); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestExposureDetectProb(t *testing.T) {
+	e, _ := NewExposure(2, 1) // 1/s rate
+	seg := geom.Segment{A: geom.Point{X: -10, Y: 0}, B: geom.Point{X: 10, Y: 0}}
+	// Through-center chord of length 4 at speed 2 m/s: dwell 2 s.
+	want := 1 - math.Exp(-2)
+	if got := e.DetectProb(geom.Point{X: 0, Y: 0}, seg, 2); !numeric.AlmostEqual(got, want, 1e-12, 1e-12) {
+		t.Errorf("DetectProb = %v, want %v", got, want)
+	}
+	// Out of range: zero.
+	if got := e.DetectProb(geom.Point{X: 0, Y: 5}, seg, 2); got != 0 {
+		t.Errorf("out-of-range prob = %v", got)
+	}
+	// Zero speed: undefined dwell, returns 0.
+	if got := e.DetectProb(geom.Point{}, seg, 0); got != 0 {
+		t.Errorf("zero-speed prob = %v", got)
+	}
+	// Slower target dwells longer and is detected more surely.
+	slow := e.DetectProb(geom.Point{}, seg, 1)
+	fast := e.DetectProb(geom.Point{}, seg, 10)
+	if slow <= fast {
+		t.Errorf("slower target should be easier: %v vs %v", slow, fast)
+	}
+}
+
+func TestExposureDetectsFrequency(t *testing.T) {
+	e, _ := NewExposure(2, 0.5)
+	seg := geom.Segment{A: geom.Point{X: -10, Y: 0}, B: geom.Point{X: 10, Y: 0}}
+	sensor := geom.Point{X: 0, Y: 1}
+	speed := 2.0
+	want := e.DetectProb(sensor, seg, speed)
+	rng := field.NewRand(23)
+	const trials = 100_000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if e.Detects(sensor, seg, speed, rng) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestEquivalentPdRanges(t *testing.T) {
+	rng := field.NewRand(7)
+	e, _ := NewExposure(1000, 0.05)
+	pd := e.EquivalentPd(600, 10, 200_000, rng)
+	if pd <= 0 || pd >= 1 {
+		t.Fatalf("equivalent Pd = %v", pd)
+	}
+	// Higher lambda -> higher equivalent Pd.
+	hot, _ := NewExposure(1000, 0.5)
+	pdHot := hot.EquivalentPd(600, 10, 200_000, rng)
+	if pdHot <= pd {
+		t.Errorf("lambda x10 should raise equivalent Pd: %v vs %v", pdHot, pd)
+	}
+	// Degenerate inputs return 0.
+	if e.EquivalentPd(600, 0, 100, rng) != 0 {
+		t.Error("zero speed should give 0")
+	}
+	if e.EquivalentPd(600, 10, 0, rng) != 0 {
+		t.Error("zero samples should give 0")
+	}
+	if e.EquivalentPd(-1, 10, 100, rng) != 0 {
+		t.Error("negative step should give 0")
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/target"
+)
+
+func TestRunMultiValidation(t *testing.T) {
+	cfg := baseConfig()
+	if _, err := RunMulti(cfg, 0, 0); err == nil {
+		t.Error("targets = 0 should fail")
+	}
+	if _, err := RunMulti(cfg, 2, -1); err == nil {
+		t.Error("negative separation should fail")
+	}
+	bad := cfg
+	bad.Trials = 0
+	if _, err := RunMulti(bad, 2, 0); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+// TestRunMultiPerTargetMatchesSingleAnalysis verifies the paper's claim
+// that the single-target analysis holds per target when targets are far
+// apart.
+func TestRunMultiPerTargetMatchesSingleAnalysis(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 1500
+	res, err := RunMulti(cfg, 2, 8000) // 8 km separation in a 32 km field
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := detect.MSApproach(cfg.Params, detect.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range res.PerTarget {
+		if math.Abs(p-ana.DetectionProb) > 0.05 {
+			t.Errorf("target %d: sim %v vs analysis %v", j, p, ana.DetectionProb)
+		}
+	}
+	if res.AllDetected > res.AnyDetected {
+		t.Error("P[all] cannot exceed P[any]")
+	}
+	pooled := (res.PerTarget[0] + res.PerTarget[1]) / 2
+	if !res.CI.Contains(pooled) {
+		t.Errorf("CI %+v should contain the pooled estimate %v", res.CI, pooled)
+	}
+}
+
+func TestRunMultiImpossibleSeparation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 1
+	// Three tracks 30 km apart cannot fit a 32 km field with 12 km tracks.
+	if _, err := RunMulti(cfg, 3, 30000); err == nil {
+		t.Error("impossible separation should fail")
+	}
+}
+
+func TestRunMultiSingleTargetReducesToRun(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 800
+	multi, err := RunMulti(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different report-sampling order means the draws differ, but the
+	// estimates must agree statistically.
+	if math.Abs(multi.PerTarget[0]-single.DetectionProb) > 0.06 {
+		t.Errorf("multi(1) %v vs single %v", multi.PerTarget[0], single.DetectionProb)
+	}
+}
+
+// TestVariableSpeedBracketedByFixedSpeedAnalyses checks the future-work
+// motion model: a target with per-period speed uniform in [4, 10] m/s is
+// detected with probability between the V=4 and V=10 analyses.
+func TestVariableSpeedBracketedByFixedSpeedAnalyses(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 3000
+	p := cfg.Params
+	cfg.Model = target.VariableSpeed{
+		MinStep: 4 * p.T.Seconds(),
+		MaxStep: 10 * p.T.Seconds(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := detect.MSApproach(p.WithV(4), detect.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := detect.MSApproach(p.WithV(10), detect.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slack = 0.03
+	if res.DetectionProb < slow.DetectionProb-slack || res.DetectionProb > fast.DetectionProb+slack {
+		t.Errorf("variable speed %v outside bracket [%v, %v]",
+			res.DetectionProb, slow.DetectionProb, fast.DetectionProb)
+	}
+}
+
+func TestLatencyHistogramConsistency(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 1000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Total() != int64(res.Detections) {
+		t.Errorf("latency samples %d != detections %d", res.Latency.Total(), res.Detections)
+	}
+	if res.Detections > 0 {
+		if maxL := res.Latency.Max(); maxL > cfg.Params.M {
+			t.Errorf("latency %d beyond window %d", maxL, cfg.Params.M)
+		}
+		if res.Latency.Count(0) > 0 {
+			t.Error("latency 0 recorded for a detected trial")
+		}
+		// Detection needs at least K reports, so it cannot happen before
+		// period 1; with K=5 and sparse coverage, typical latencies are
+		// several periods.
+		if mean := res.Latency.Mean(); mean < 1 {
+			t.Errorf("mean latency %v implausible", mean)
+		}
+	}
+	// The analytical latency CDF end point matches the detection rate.
+	cdf, err := detect.DetectionLatency(cfg.Params, detect.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := cdf.ByPeriod(cfg.Params.M)
+	if math.Abs(end-res.DetectionProb) > 0.04 {
+		t.Errorf("analytical CDF end %v vs simulated detection %v", end, res.DetectionProb)
+	}
+}
+
+// TestLatencyCDFMatchesSimulatedLatencies compares the analytical latency
+// profile against the simulator's per-period detection fractions.
+func TestLatencyCDFMatchesSimulatedLatencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep skipped in -short mode")
+	}
+	cfg := baseConfig()
+	cfg.Trials = 4000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := detect.DetectionLatency(cfg.Params, detect.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := cdf.FirstPeriod; m <= cfg.Params.M; m += 3 {
+		simByM := 0.0
+		for l := 1; l <= m; l++ {
+			simByM += float64(res.Latency.Count(l))
+		}
+		simByM /= float64(res.Trials)
+		if d := math.Abs(simByM - cdf.ByPeriod(m)); d > 0.04 {
+			t.Errorf("period %d: sim CDF %v vs analysis %v (diff %v)", m, simByM, cdf.ByPeriod(m), d)
+		}
+	}
+}
+
+// TestMissionLongerThanWindow: a target present for 2M periods under the
+// any-window rule is detected at least as often as over a single window,
+// and the simulated probability falls inside the analytical bracket.
+func TestMissionLongerThanWindow(t *testing.T) {
+	base := baseConfig()
+	base.Trials = 3000
+	// Shrink speed so a 40-period track still fits the field comfortably.
+	single, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := base
+	long.MissionPeriods = 2 * base.Params.M
+	longRes, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longRes.DetectionProb < single.DetectionProb-0.02 {
+		t.Errorf("longer mission cannot reduce detection: %v vs %v",
+			longRes.DetectionProb, single.DetectionProb)
+	}
+	lo, hi, err := detect.MissionBounds(base.Params, long.MissionPeriods, detect.MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longRes.DetectionProb < lo-0.03 || longRes.DetectionProb > hi+0.03 {
+		t.Errorf("mission sim %v outside bracket [%v, %v]", longRes.DetectionProb, lo, hi)
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MissionPeriods = 5 // below M=20
+	if _, err := Run(cfg); err == nil {
+		t.Error("mission < M should fail")
+	}
+}
+
+// TestMissionDetectionAtWindowBoundary: reports spread too thin never
+// trigger. Construct via tiny K and check DetectedAt is within mission.
+func TestMissionDetectedAtRange(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 300
+	cfg.MissionPeriods = 40
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections > 0 {
+		if maxL := res.Latency.Max(); maxL > cfg.MissionPeriods {
+			t.Errorf("detection at period %d beyond mission %d", maxL, cfg.MissionPeriods)
+		}
+	}
+}

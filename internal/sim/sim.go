@@ -1,0 +1,374 @@
+// Package sim implements the Monte Carlo event-detection simulator used to
+// validate the analytical model (Section 4 of the paper; the authors' was
+// written in Matlab). A trial deploys N sensors uniformly at random, drops a
+// target at a random entry point and heading, moves it for M sensing
+// periods, counts the detection reports generated along the track, and
+// declares a system-level detection when at least K reports accumulate.
+// Trials are independent, deterministic per (Seed, trial index), and run in
+// parallel across workers.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/sensing"
+	"github.com/groupdetect/gbd/internal/stats"
+	"github.com/groupdetect/gbd/internal/target"
+)
+
+// ErrConfig reports an invalid simulation configuration.
+var ErrConfig = errors.New("sim: invalid configuration")
+
+// ErrConfinement reports failure to sample a confined track.
+var ErrConfinement = errors.New("sim: could not sample a track inside the field")
+
+// Confinement selects how target tracks interact with the field border.
+type Confinement int
+
+const (
+	// ConfineRejection resamples the entry point and heading until the
+	// whole track stays inside the field. This matches the analytical
+	// model, which assumes the full ARegion is populated with sensors; it
+	// is the default.
+	ConfineRejection Confinement = iota + 1
+	// ConfineNone uses the first sampled entry point and heading even if
+	// the target exits the field (the paper's literal simulation text).
+	// Periods spent outside simply find no sensors.
+	ConfineNone
+)
+
+// maxConfineAttempts bounds rejection sampling; with track lengths well
+// below the field side the acceptance rate is high and this is generous.
+const maxConfineAttempts = 10000
+
+// Config describes a simulation campaign.
+type Config struct {
+	// Params is the scenario; its N, FieldSide, Rs, V, T, Pd, M, K fields
+	// drive the trial mechanics.
+	Params detect.Params
+	// Model generates target tracks. Nil means the straight-line model at
+	// the scenario speed, matching the analysis.
+	Model target.Model
+	// Trials is the number of Monte Carlo trials (the paper uses 10000).
+	Trials int
+	// Seed makes the whole campaign reproducible. Trial i derives its own
+	// stream from (Seed, i), so results are independent of scheduling.
+	Seed int64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Confine selects border handling; 0 means ConfineRejection.
+	Confine Confinement
+	// FalseAlarmP, when positive, adds per-sensor per-period Bernoulli
+	// false alarms to the report counts (the analysis excludes these; the
+	// paper predicts they only raise detection probability).
+	FalseAlarmP float64
+	// ExposureLambda, when positive, replaces the flat in-range Pd with
+	// the dwell-time model of the paper's footnote 1: a sensor detects in
+	// a period with probability 1 - exp(-lambda * time-in-range). Pair it
+	// with sensing.Exposure.EquivalentPd to calibrate the flat analysis.
+	ExposureLambda float64
+	// MissionPeriods extends the target's presence beyond one detection
+	// window: the target moves for this many periods (>= Params.M) and the
+	// system detects it when ANY sliding window of M consecutive periods
+	// accumulates K reports. Zero means Params.M (the paper's setting,
+	// where mission and window coincide).
+	MissionPeriods int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Params.Validate(); err != nil {
+		return c, err
+	}
+	if c.Trials <= 0 {
+		return c, fmt.Errorf("trials = %d must be positive: %w", c.Trials, ErrConfig)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("workers = %d must be >= 0: %w", c.Workers, ErrConfig)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Confine == 0 {
+		c.Confine = ConfineRejection
+	}
+	if c.Confine != ConfineRejection && c.Confine != ConfineNone {
+		return c, fmt.Errorf("unknown confinement %d: %w", c.Confine, ErrConfig)
+	}
+	if c.FalseAlarmP < 0 || c.FalseAlarmP > 1 {
+		return c, fmt.Errorf("false alarm probability %v: %w", c.FalseAlarmP, ErrConfig)
+	}
+	if c.ExposureLambda < 0 {
+		return c, fmt.Errorf("exposure lambda %v: %w", c.ExposureLambda, ErrConfig)
+	}
+	if c.MissionPeriods != 0 && c.MissionPeriods < c.Params.M {
+		return c, fmt.Errorf("mission %d shorter than window %d: %w", c.MissionPeriods, c.Params.M, ErrConfig)
+	}
+	if c.MissionPeriods == 0 {
+		c.MissionPeriods = c.Params.M
+	}
+	if c.Model == nil {
+		c.Model = target.Straight{Step: c.Params.Vt()}
+	}
+	return c, nil
+}
+
+// Result summarizes a simulation campaign.
+type Result struct {
+	// Trials and Detections count completed trials and system-level
+	// detections.
+	Trials, Detections int
+	// DetectionProb is Detections/Trials.
+	DetectionProb float64
+	// CI is the 95% Wilson confidence interval for DetectionProb.
+	CI stats.Interval
+	// Reports is the distribution of total report counts across trials.
+	Reports stats.Histogram
+	// Latency is the distribution, over detected trials, of the first
+	// sensing period at which the cumulative report count reached K.
+	Latency stats.Histogram
+	// MeanReports is the average number of reports per trial.
+	MeanReports float64
+}
+
+// TrialResult captures the details of a single trial, used by examples and
+// the networking experiments.
+type TrialResult struct {
+	// Detected reports whether at least K reports accumulated;
+	// DetectedAt is the first period at which they did (0 if never).
+	Detected   bool
+	DetectedAt int
+	// Reports is the total report count; PerPeriod breaks it down.
+	Reports   int
+	PerPeriod []int
+	// Track holds the M+1 period-boundary positions.
+	Track []geom.Point
+	// Sensors holds the deployment.
+	Sensors []geom.Point
+	// Reporters lists the sensor ids that generated at least one report.
+	Reporters []int
+}
+
+// Run executes the campaign and aggregates the results.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	type partial struct {
+		detections int
+		hist       stats.Histogram
+		latency    stats.Histogram
+		err        error
+	}
+	workers := cfg.Workers
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			for trial := w; trial < cfg.Trials; trial += workers {
+				tr, err := runTrial(cfg, trial, false)
+				if err != nil {
+					p.err = err
+					return
+				}
+				if tr.Detected {
+					p.detections++
+					if err := p.latency.Add(tr.DetectedAt); err != nil {
+						p.err = err
+						return
+					}
+				}
+				if err := p.hist.Add(tr.Reports); err != nil {
+					p.err = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{Trials: cfg.Trials}
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, parts[i].err
+		}
+		res.Detections += parts[i].detections
+		res.Reports.Merge(&parts[i].hist)
+		res.Latency.Merge(&parts[i].latency)
+	}
+	res.DetectionProb = float64(res.Detections) / float64(res.Trials)
+	res.MeanReports = res.Reports.Mean()
+	ci, err := stats.WilsonInterval(res.Detections, res.Trials, 1.96)
+	if err != nil {
+		return nil, err
+	}
+	res.CI = ci
+	return res, nil
+}
+
+// RunTrial executes a single trial with full detail retained.
+func RunTrial(cfg Config, trial int) (*TrialResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if trial < 0 {
+		return nil, fmt.Errorf("trial = %d must be >= 0: %w", trial, ErrConfig)
+	}
+	return runTrial(cfg, trial, true)
+}
+
+func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
+	p := cfg.Params
+	rng := field.NewRand(field.DeriveSeed(cfg.Seed, int64(trial)))
+	bounds := geom.Square(p.FieldSide)
+
+	sensors, err := field.Uniform(p.N, bounds, rng)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := field.NewIndex(sensors, bounds, indexCellSize(p))
+	if err != nil {
+		return nil, err
+	}
+	disk, err := sensing.NewDisk(p.Rs, p.Pd)
+	if err != nil {
+		return nil, err
+	}
+	var exposure sensing.Exposure
+	if cfg.ExposureLambda > 0 {
+		exposure, err = sensing.NewExposure(p.Rs, cfg.ExposureLambda)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fa, err := sensing.NewFalseAlarm(cfg.FalseAlarmP)
+	if err != nil {
+		return nil, err
+	}
+
+	track, err := sampleTrack(cfg, bounds, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	mission := cfg.MissionPeriods
+	tr := &TrialResult{}
+	if detailed {
+		tr.Track = track
+		tr.Sensors = sensors
+		tr.PerPeriod = make([]int, mission)
+	}
+	perPeriod := make([]int, mission+1) // 1-based
+	reported := make(map[int]bool)
+	buf := make([]int, 0, 16)
+	for period := 1; period <= mission; period++ {
+		seg := geom.Segment{A: track[period-1], B: track[period]}
+		count := 0
+		segSpeed := seg.Length() / p.T.Seconds()
+		buf = idx.QuerySegment(seg, p.Rs, buf[:0])
+		for _, id := range buf {
+			detected := false
+			if cfg.ExposureLambda > 0 {
+				detected = exposure.Detects(sensors[id], seg, segSpeed, rng)
+			} else {
+				detected = disk.Detects(sensors[id], seg, rng)
+			}
+			if detected {
+				count++
+				if detailed {
+					reported[id] = true
+				}
+			}
+		}
+		if fa.P > 0 {
+			for s := 0; s < p.N; s++ {
+				if fa.Fires(rng) {
+					count++
+					if detailed {
+						reported[s] = true
+					}
+				}
+			}
+		}
+		tr.Reports += count
+		perPeriod[period] = count
+		if detailed {
+			tr.PerPeriod[period-1] = count
+		}
+		// Sliding-window rule: sum of the last min(period, M) periods.
+		if tr.DetectedAt == 0 {
+			winSum := 0
+			lo := period - p.M + 1
+			if lo < 1 {
+				lo = 1
+			}
+			for q := lo; q <= period; q++ {
+				winSum += perPeriod[q]
+			}
+			if winSum >= p.K {
+				tr.DetectedAt = period
+			}
+		}
+	}
+	tr.Detected = tr.DetectedAt > 0
+	if detailed {
+		tr.Reporters = make([]int, 0, len(reported))
+		for id := range reported {
+			tr.Reporters = append(tr.Reporters, id)
+		}
+	}
+	return tr, nil
+}
+
+// indexCellSize picks a grid cell on the order of the sensing range, bounded
+// so tiny ranges in huge fields do not explode the cell count.
+func indexCellSize(p detect.Params) float64 {
+	cell := p.Rs
+	if minCell := p.FieldSide / 256; cell < minCell {
+		cell = minCell
+	}
+	return cell
+}
+
+// sampleTrack draws an entry point and heading and generates a track
+// according to the confinement policy.
+func sampleTrack(cfg Config, bounds geom.Rect, rng *rand.Rand) ([]geom.Point, error) {
+	periods := cfg.MissionPeriods
+	if periods == 0 {
+		periods = cfg.Params.M
+	}
+	attempts := 1
+	if cfg.Confine == ConfineRejection {
+		attempts = maxConfineAttempts
+	}
+	for a := 0; a < attempts; a++ {
+		start := geom.Point{
+			X: bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+			Y: bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+		}
+		theta := rng.Float64() * 2 * math.Pi
+		track, err := cfg.Model.Track(start, theta, periods, rng)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Confine == ConfineNone || target.InBounds(track, bounds) {
+			return track, nil
+		}
+	}
+	return nil, fmt.Errorf("%d attempts: %w", maxConfineAttempts, ErrConfinement)
+}

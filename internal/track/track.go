@@ -1,0 +1,160 @@
+// Package track implements the "mapped to a possible target track" filter
+// that group-based detection applies to report sequences (Section 2). The
+// paper abstracts the filter away; deployed systems realize it with a
+// kinematic gate: a set of reports is track-consistent when some target
+// moving at most a maximum speed could have produced all of them. This
+// package provides that gate plus the k-of-M sliding-window scanner, and is
+// the machinery behind the false-alarm experiments.
+package track
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+// ErrGate reports invalid gating parameters.
+var ErrGate = errors.New("track: invalid gate")
+
+// Report is a single node-level detection report.
+type Report struct {
+	// Sensor identifies the reporting node.
+	Sensor int
+	// Pos is the reporting node's position (the report's location estimate:
+	// the target was within Rs of it).
+	Pos geom.Point
+	// Period is the sensing period index in which the report was generated.
+	Period int
+}
+
+// Gate is the kinematic consistency test. Two reports are compatible when
+// the target could have traveled between their sensing disks in the elapsed
+// periods: dist <= MaxSpeed * dt * Period + 2 * Slack, where Slack is the
+// sensing range (each report only localizes the target to within Rs).
+type Gate struct {
+	// MaxSpeed is the fastest target considered, in m/s.
+	MaxSpeed float64
+	// Period is the sensing period length.
+	Period time.Duration
+	// Slack is the position uncertainty per report, normally the sensing
+	// range Rs.
+	Slack float64
+}
+
+// NewGate validates and returns a gate.
+func NewGate(maxSpeed float64, period time.Duration, slack float64) (Gate, error) {
+	if maxSpeed <= 0 {
+		return Gate{}, fmt.Errorf("max speed %v: %w", maxSpeed, ErrGate)
+	}
+	if period <= 0 {
+		return Gate{}, fmt.Errorf("period %v: %w", period, ErrGate)
+	}
+	if slack < 0 {
+		return Gate{}, fmt.Errorf("slack %v: %w", slack, ErrGate)
+	}
+	return Gate{MaxSpeed: maxSpeed, Period: period, Slack: slack}, nil
+}
+
+// Compatible reports whether reports a and b could stem from one target.
+// Reports from the same period are compatible when their disks could see
+// the same point (distance <= 2*Slack plus the within-period travel).
+func (g Gate) Compatible(a, b Report) bool {
+	dp := a.Period - b.Period
+	if dp < 0 {
+		dp = -dp
+	}
+	// Within a period the target moves up to one step as well.
+	reach := g.MaxSpeed*g.Period.Seconds()*float64(dp+1) + 2*g.Slack
+	return a.Pos.Dist(b.Pos) <= reach
+}
+
+// LongestChain returns the size of the largest subset of reports that is
+// pairwise-chainable in period order: a sequence r1, r2, ... (periods
+// non-decreasing) where each consecutive pair is Compatible. This is the
+// standard single-target track-before-detect association relaxation; it
+// never underestimates the true single-target association size.
+func (g Gate) LongestChain(reports []Report) int {
+	if len(reports) == 0 {
+		return 0
+	}
+	rs := append([]Report(nil), reports...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Period < rs[j].Period })
+	best := make([]int, len(rs))
+	overall := 0
+	for i := range rs {
+		best[i] = 1
+		for j := 0; j < i; j++ {
+			if best[j]+1 > best[i] && g.Compatible(rs[j], rs[i]) {
+				best[i] = best[j] + 1
+			}
+		}
+		if best[i] > overall {
+			overall = best[i]
+		}
+	}
+	return overall
+}
+
+// Decision is the outcome of the group-based detection rule on a report
+// stream.
+type Decision struct {
+	// Detected reports whether some M-period window contained a
+	// track-consistent chain of at least K reports.
+	Detected bool
+	// Window is the first period of the triggering window (meaningful only
+	// when Detected).
+	Window int
+	// ChainLen is the longest track-consistent chain found in any window.
+	ChainLen int
+}
+
+// Decide applies the full group-based detection rule from Section 2: scan
+// every window of m consecutive periods and trigger when the longest
+// track-consistent chain within the window reaches k. Reports outside any
+// window are ignored. gated=false skips the kinematic gate and counts raw
+// reports per window (the rule the detection-probability analysis models).
+func Decide(reports []Report, k, m int, g Gate, gated bool) (Decision, error) {
+	if k < 1 || m < 1 {
+		return Decision{}, fmt.Errorf("k = %d, m = %d: %w", k, m, ErrGate)
+	}
+	if len(reports) == 0 {
+		return Decision{}, nil
+	}
+	minP, maxP := reports[0].Period, reports[0].Period
+	for _, r := range reports {
+		if r.Period < minP {
+			minP = r.Period
+		}
+		if r.Period > maxP {
+			maxP = r.Period
+		}
+	}
+	dec := Decision{}
+	window := make([]Report, 0, len(reports))
+	for start := minP; start <= maxP; start++ {
+		window = window[:0]
+		for _, r := range reports {
+			if r.Period >= start && r.Period < start+m {
+				window = append(window, r)
+			}
+		}
+		if len(window) < k || len(window) <= dec.ChainLen && dec.Detected {
+			continue
+		}
+		chain := len(window)
+		if gated {
+			chain = g.LongestChain(window)
+		}
+		if chain > dec.ChainLen {
+			dec.ChainLen = chain
+		}
+		if chain >= k && !dec.Detected {
+			dec.Detected = true
+			dec.Window = start
+		}
+	}
+	return dec, nil
+}

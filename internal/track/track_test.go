@@ -1,0 +1,210 @@
+package track
+
+import (
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+func testGate(t *testing.T) Gate {
+	t.Helper()
+	g, err := NewGate(10, time.Minute, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGateValidation(t *testing.T) {
+	if _, err := NewGate(0, time.Minute, 100); err == nil {
+		t.Error("zero speed should fail")
+	}
+	if _, err := NewGate(10, 0, 100); err == nil {
+		t.Error("zero period should fail")
+	}
+	if _, err := NewGate(10, time.Minute, -1); err == nil {
+		t.Error("negative slack should fail")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	g := testGate(t) // reach per period gap: 600*(dp+1) + 2000
+	a := Report{Sensor: 1, Pos: geom.Point{X: 0, Y: 0}, Period: 1}
+	near := Report{Sensor: 2, Pos: geom.Point{X: 2500, Y: 0}, Period: 1}
+	if !g.Compatible(a, near) {
+		t.Error("same-period reports 2500 m apart should be compatible (reach 2600)")
+	}
+	far := Report{Sensor: 3, Pos: geom.Point{X: 2700, Y: 0}, Period: 1}
+	if g.Compatible(a, far) {
+		t.Error("same-period reports 2700 m apart should be incompatible")
+	}
+	later := Report{Sensor: 3, Pos: geom.Point{X: 4000, Y: 0}, Period: 4}
+	// reach = 600*4 + 2000 = 4400.
+	if !g.Compatible(a, later) {
+		t.Error("4-period gap at 4000 m should be compatible")
+	}
+	if !g.Compatible(later, a) {
+		t.Error("compatibility must be symmetric")
+	}
+}
+
+func TestLongestChainTargetTrack(t *testing.T) {
+	g := testGate(t)
+	// Reports along a 600 m/period straight track: all chainable.
+	var reports []Report
+	for p := 1; p <= 6; p++ {
+		reports = append(reports, Report{Sensor: p, Pos: geom.Point{X: float64(p) * 600, Y: 0}, Period: p})
+	}
+	if got := g.LongestChain(reports); got != 6 {
+		t.Errorf("chain = %d, want 6", got)
+	}
+}
+
+func TestLongestChainRejectsScatteredFalseAlarms(t *testing.T) {
+	g := testGate(t)
+	// False alarms scattered across a 32 km field in distinct periods:
+	// pairwise distances far exceed the kinematic reach.
+	rng := field.NewRand(5)
+	var reports []Report
+	for p := 1; p <= 8; p++ {
+		reports = append(reports, Report{
+			Sensor: p,
+			Pos:    geom.Point{X: rng.Float64() * 32000, Y: rng.Float64() * 32000},
+			Period: p,
+		})
+	}
+	if got := g.LongestChain(reports); got >= 5 {
+		t.Errorf("scattered false alarms chained to %d, expected < 5", got)
+	}
+}
+
+func TestLongestChainEmpty(t *testing.T) {
+	g := testGate(t)
+	if g.LongestChain(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	one := []Report{{Sensor: 1, Pos: geom.Point{}, Period: 3}}
+	if g.LongestChain(one) != 1 {
+		t.Error("single report chains to 1")
+	}
+}
+
+func TestLongestChainDoesNotMutateInput(t *testing.T) {
+	g := testGate(t)
+	reports := []Report{
+		{Sensor: 1, Pos: geom.Point{}, Period: 5},
+		{Sensor: 2, Pos: geom.Point{X: 600}, Period: 1},
+	}
+	_ = g.LongestChain(reports)
+	if reports[0].Period != 5 {
+		t.Error("LongestChain must not reorder the caller's slice")
+	}
+}
+
+func TestDecideUngated(t *testing.T) {
+	g := testGate(t)
+	var reports []Report
+	for p := 1; p <= 5; p++ {
+		reports = append(reports, Report{Sensor: p, Pos: geom.Point{X: float64(p) * 600}, Period: p})
+	}
+	dec, err := Decide(reports, 5, 20, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Detected || dec.ChainLen != 5 {
+		t.Errorf("decision = %+v", dec)
+	}
+	// k = 6 cannot be met.
+	dec, err = Decide(reports, 6, 20, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Detected {
+		t.Errorf("k=6 should not trigger: %+v", dec)
+	}
+}
+
+func TestDecideWindowBoundary(t *testing.T) {
+	g := testGate(t)
+	// Reports in periods 1 and 30 never share a 20-period window.
+	reports := []Report{
+		{Sensor: 1, Pos: geom.Point{}, Period: 1},
+		{Sensor: 2, Pos: geom.Point{X: 100}, Period: 30},
+	}
+	dec, err := Decide(reports, 2, 20, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Detected {
+		t.Error("reports 29 periods apart must not trigger k=2, M=20")
+	}
+	// But periods 1 and 20 do share the window starting at 1.
+	reports[1].Period = 20
+	dec, err = Decide(reports, 2, 20, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Detected || dec.Window != 1 {
+		t.Errorf("decision = %+v, want detection in window 1", dec)
+	}
+}
+
+func TestDecideGatedFiltersFalseAlarms(t *testing.T) {
+	g := testGate(t)
+	// Five scattered false alarms within one window: ungated triggers,
+	// gated does not.
+	rng := field.NewRand(9)
+	var reports []Report
+	for p := 1; p <= 5; p++ {
+		reports = append(reports, Report{
+			Sensor: p,
+			Pos:    geom.Point{X: rng.Float64() * 32000, Y: rng.Float64() * 32000},
+			Period: p,
+		})
+	}
+	raw, err := Decide(reports, 5, 20, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raw.Detected {
+		t.Fatal("ungated rule should trigger on 5 reports")
+	}
+	gated, err := Decide(reports, 5, 20, g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Detected {
+		t.Errorf("gated rule should filter scattered false alarms: %+v", gated)
+	}
+}
+
+func TestDecideGatedAcceptsRealTrack(t *testing.T) {
+	g := testGate(t)
+	var reports []Report
+	for p := 1; p <= 5; p++ {
+		reports = append(reports, Report{Sensor: p, Pos: geom.Point{X: float64(p) * 600, Y: 50}, Period: p})
+	}
+	dec, err := Decide(reports, 5, 20, g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Detected {
+		t.Errorf("gated rule should accept a real track: %+v", dec)
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	g := testGate(t)
+	if _, err := Decide(nil, 0, 20, g, false); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Decide(nil, 5, 0, g, false); err == nil {
+		t.Error("m=0 should fail")
+	}
+	dec, err := Decide(nil, 5, 20, g, false)
+	if err != nil || dec.Detected {
+		t.Errorf("empty stream: %+v, %v", dec, err)
+	}
+}

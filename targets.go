@@ -1,0 +1,93 @@
+package gbd
+
+import (
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/sim"
+	"github.com/groupdetect/gbd/internal/target"
+)
+
+// Point is a planar location in meters.
+type Point = geom.Point
+
+// TargetModel generates target tracks for the simulator (SimConfig.Model).
+type TargetModel = target.Model
+
+// StraightTarget returns the constant-speed straight-line motion model the
+// analysis assumes, at the scenario's speed.
+func StraightTarget(p Params) TargetModel {
+	return target.Straight{Step: p.Vt()}
+}
+
+// RandomWalkTarget returns the paper's Section-4 random-walk model: each
+// period the heading changes by a uniform angle within ±maxTurn radians.
+// The paper's configuration uses maxTurn = pi/4.
+func RandomWalkTarget(p Params, maxTurn float64) TargetModel {
+	return target.RandomWalk{Step: p.Vt(), MaxTurn: maxTurn}
+}
+
+// WaypointTarget returns a scripted patrol path followed at the scenario's
+// speed; the target parks at the final waypoint.
+func WaypointTarget(p Params, points []Point) TargetModel {
+	return target.Waypoints{Step: p.Vt(), Points: points}
+}
+
+// VariableSpeedTarget returns the future-work motion model: straight
+// heading with per-period speed drawn uniformly from [vMin, vMax] m/s.
+func VariableSpeedTarget(p Params, vMin, vMax float64) TargetModel {
+	sec := p.T.Seconds()
+	return target.VariableSpeed{MinStep: vMin * sec, MaxStep: vMax * sec}
+}
+
+// TOptions configures the Temporal-approach demonstrator; TResult is its
+// outcome (including the peak state count that motivates the
+// M-S-approach).
+type (
+	TOptions = detect.TOptions
+	TResult  = detect.TResult
+)
+
+// AnalyzeT runs the Temporal approach from Section 3.2 — the formulation
+// the paper rejects for state explosion. Where feasible its result equals
+// Analyze's exactly; on larger ms it fails with detect.ErrStateExplosion,
+// reproducing the paper's argument. Useful mainly for studying the state
+// growth via TResult.PeakStates.
+func AnalyzeT(p Params, opt TOptions) (*TResult, error) {
+	return detect.TApproach(p, opt)
+}
+
+// LatencyCDF is the analytical distribution of detection delay.
+type LatencyCDF = detect.LatencyCDF
+
+// Latency computes P[detected by period m] for m = ms+1..M: the time
+// profile of the K-of-M rule, whose final point is the paper's detection
+// probability.
+func Latency(p Params, opt MSOptions) (LatencyCDF, error) {
+	return detect.DetectionLatency(p, opt)
+}
+
+// RequiredSensors returns the smallest N in [1, nMax] whose analytical
+// detection probability reaches targetProb — the deployment-sizing
+// primitive.
+func RequiredSensors(p Params, targetProb float64, nMax int, opt MSOptions) (int, error) {
+	return detect.RequiredN(p, targetProb, nMax, opt)
+}
+
+// MultiResult summarizes a multi-target simulation campaign.
+type MultiResult = sim.MultiResult
+
+// SimulateMulti runs the multi-target simulator: targets tracks kept at
+// least minSep apart, each judged independently against the K-of-M rule
+// (the paper's "our analysis still holds per target" claim, made
+// testable).
+func SimulateMulti(cfg SimConfig, targets int, minSep float64) (*MultiResult, error) {
+	return sim.RunMulti(cfg, targets, minSep)
+}
+
+// MissionBounds brackets the detection probability when the target is
+// present for missionPeriods (>= M) and ANY sliding M-window of K reports
+// triggers: lower bound = single-window analysis, upper bound = window
+// union bound. Set SimConfig.MissionPeriods to measure the true value.
+func MissionBounds(p Params, missionPeriods int, opt MSOptions) (lo, hi float64, err error) {
+	return detect.MissionBounds(p, missionPeriods, opt)
+}

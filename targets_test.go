@@ -1,0 +1,110 @@
+package gbd_test
+
+import (
+	"math"
+	"testing"
+
+	gbd "github.com/groupdetect/gbd"
+)
+
+func TestTargetModelConstructors(t *testing.T) {
+	p := gbd.Defaults()
+	if got := gbd.StraightTarget(p).StepLen(); got != 600 {
+		t.Errorf("straight step = %v, want 600", got)
+	}
+	if got := gbd.RandomWalkTarget(p, math.Pi/4).StepLen(); got != 600 {
+		t.Errorf("walk step = %v", got)
+	}
+	if got := gbd.VariableSpeedTarget(p, 4, 10).StepLen(); got != 7*60 {
+		t.Errorf("variable step = %v, want 420", got)
+	}
+	wp := gbd.WaypointTarget(p, []gbd.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}})
+	if wp.StepLen() != 600 {
+		t.Errorf("waypoint step = %v", wp.StepLen())
+	}
+}
+
+func TestSimulateWithFacadeModels(t *testing.T) {
+	p := gbd.Defaults()
+	cfg := gbd.SimConfig{Params: p, Trials: 300, Seed: 3, Model: gbd.RandomWalkTarget(p, math.Pi/4)}
+	res, err := gbd.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionProb <= 0 {
+		t.Errorf("walk detection prob = %v", res.DetectionProb)
+	}
+}
+
+func TestAnalyzeTMatchesAnalyze(t *testing.T) {
+	p := gbd.Defaults().WithM(10) // ms=4 keeps the T-approach tractable
+	tRes, err := gbd.AnalyzeT(p, gbd.TOptions{Gh: 2, G: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msRes, err := gbd.Analyze(p, gbd.MSOptions{Gh: 2, G: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tRes.DetectionProb-msRes.DetectionProb) > 1e-9 {
+		t.Errorf("T %v vs M-S %v", tRes.DetectionProb, msRes.DetectionProb)
+	}
+	if tRes.PeakStates < 2 {
+		t.Errorf("peak states = %d", tRes.PeakStates)
+	}
+}
+
+func TestLatencyFacade(t *testing.T) {
+	p := gbd.Defaults()
+	cdf, err := gbd.Latency(p, gbd.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := gbd.Analyze(p, gbd.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf.ByPeriod(p.M)-full.DetectionProb) > 1e-6 {
+		t.Errorf("latency end %v vs window prob %v", cdf.ByPeriod(p.M), full.DetectionProb)
+	}
+}
+
+func TestRequiredSensorsFacade(t *testing.T) {
+	n, err := gbd.RequiredSensors(gbd.Defaults(), 0.75, 300, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 9(a): ~0.78 at N=120.
+	if n < 100 || n > 130 {
+		t.Errorf("RequiredSensors(0.75) = %d, expected ~110-120", n)
+	}
+}
+
+func TestSimulateMultiFacade(t *testing.T) {
+	cfg := gbd.SimConfig{Params: gbd.Defaults(), Trials: 200, Seed: 9}
+	res, err := gbd.SimulateMulti(cfg, 2, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 2 || len(res.PerTarget) != 2 {
+		t.Errorf("result shape wrong: %+v", res)
+	}
+}
+
+func TestMissionBoundsFacade(t *testing.T) {
+	lo, hi, err := gbd.MissionBounds(gbd.Defaults(), 60, gbd.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(0 < lo && lo <= hi && hi <= 1) {
+		t.Errorf("bounds [%v, %v]", lo, hi)
+	}
+	cfg := gbd.SimConfig{Params: gbd.Defaults(), Trials: 500, Seed: 4, MissionPeriods: 60}
+	res, err := gbd.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionProb < lo-0.06 || res.DetectionProb > hi+0.06 {
+		t.Errorf("mission sim %v outside [%v, %v]", res.DetectionProb, lo, hi)
+	}
+}
