@@ -16,6 +16,7 @@ import (
 	"github.com/groupdetect/gbd/internal/coverage"
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/falsealarm"
+	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
@@ -347,6 +348,58 @@ func BenchmarkEndToEndTrial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
 		if _, err := system.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLossyDelivery measures the per-report delivery classification hot
+// path of the fault-injection subsystem: greedy routing plus per-hop
+// Bernoulli retransmission over the ONR-scale network.
+func BenchmarkLossyDelivery(b *testing.B) {
+	bounds := geom.Square(32000)
+	rng := field.NewRand(1)
+	pts, err := field.Uniform(240, bounds, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netsim.New(pts, 6000, bounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := netsim.LossModel{
+		PerHopDelivery: 0.8,
+		MaxRetries:     2,
+		PerHop:         10 * time.Second,
+		Backoff:        5 * time.Second,
+		Budget:         time.Minute,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Send(i%len(pts), 0, loss, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultyTrial measures one full fault-injection trial: Bernoulli
+// node death plus lossy multi-hop delivery of every report.
+func BenchmarkFaultyTrial(b *testing.B) {
+	cfg := sim.Config{
+		Params:    detect.Defaults(),
+		Trials:    1,
+		Faults:    faults.Bernoulli{DeadFrac: 0.2},
+		CommRange: 6000,
+		Loss: netsim.LossModel{
+			PerHopDelivery: 0.9,
+			MaxRetries:     2,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrial(cfg, i); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -44,6 +44,8 @@ var runners = map[string]func(experiments.Options) (*experiments.Table, error){
 	"coverage":    experiments.Coverage,
 	"endtoend":    experiments.EndToEnd,
 	"sensitivity": experiments.Sensitivities,
+	"degradation": experiments.Degradation,
+	"lossdeg":     experiments.LossDegradation,
 }
 
 func run(args []string) error {

@@ -1,0 +1,224 @@
+// Command gbd-faults injects failures into the event-detection scenario and
+// reports how gracefully the k-of-M group detection rule degrades. It sweeps
+// a node-failure fraction (and, optionally, a per-hop report loss rate over
+// a multi-hop relay network), running the fault-injection simulator against
+// the analytical mirror that pushes the effective density N' = N*(1-f) and
+// effective report probability Pd' = Pd*p_deliver through the unmodified
+// M-S-approach.
+//
+// Usage:
+//
+//	gbd-faults [flags]
+//
+// Examples:
+//
+//	gbd-faults -trials 2000                       # dead-fraction degradation curve
+//	gbd-faults -max-dead 0.5 -dead-steps 10       # finer failure sweep
+//	gbd-faults -loss-sweep -comm-range 6000       # per-hop loss degradation
+//	gbd-faults -hazard 0.05                       # battery hazard scenario
+//	gbd-faults -blob-radius 12000                 # correlated blob failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gbd-faults:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gbd-faults", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 120, "number of sensors")
+		side    = fs.Float64("side", 32000, "field side length (m)")
+		rs      = fs.Float64("rs", 1000, "sensing range (m)")
+		v       = fs.Float64("v", 10, "target speed (m/s)")
+		period  = fs.Duration("t", time.Minute, "sensing period")
+		pd      = fs.Float64("pd", 0.9, "in-range detection probability")
+		m       = fs.Int("m", 20, "detection window (periods)")
+		k       = fs.Int("k", 5, "required reports")
+		trials  = fs.Int("trials", 2000, "Monte Carlo trials per point")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+
+		maxDead   = fs.Float64("max-dead", 0.5, "largest dead fraction in the sweep")
+		deadSteps = fs.Int("dead-steps", 10, "number of sweep increments")
+		hazard    = fs.Float64("hazard", 0, "per-period battery death hazard (single scenario)")
+		blob      = fs.Float64("blob-radius", 0, "correlated blob failure radius in m (single scenario)")
+
+		lossSweep = fs.Bool("loss-sweep", false, "sweep per-hop loss instead of dead fraction")
+		maxLoss   = fs.Float64("max-loss", 0.5, "largest per-hop loss rate in the sweep")
+		commRange = fs.Float64("comm-range", 6000, "radio range in m for the relay network")
+		perHop    = fs.Duration("per-hop", 10*time.Second, "per-hop transmission latency")
+		retries   = fs.Int("retries", 2, "retransmissions per hop")
+		backoff   = fs.Duration("backoff", 5*time.Second, "base retransmission backoff (doubles per retry)")
+		budget    = fs.Duration("budget", 0, "delivery latency budget (0 = one sensing period)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := gbd.Params{
+		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
+		Pd: *pd, M: *m, K: *k,
+	}
+	base := gbd.SimConfig{
+		Params:  p,
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	loss := netsim.LossModel{
+		PerHopDelivery: 1,
+		MaxRetries:     *retries,
+		PerHop:         *perHop,
+		Backoff:        *backoff,
+		Budget:         *budget,
+	}
+	if loss.Budget == 0 {
+		loss.Budget = p.T
+	}
+	switch {
+	case *hazard > 0:
+		return runScenario(w, base, faults.Lifetime{Hazard: *hazard},
+			fmt.Sprintf("battery hazard %.3f per period", *hazard))
+	case *blob > 0:
+		return runScenario(w, base, faults.Blob{Radius: *blob},
+			fmt.Sprintf("correlated blob failure, radius %.0f m", *blob))
+	case *lossSweep:
+		return runLossSweep(w, base, loss, *commRange, *maxLoss, *deadSteps)
+	default:
+		return runDeadSweep(w, base, *maxDead, *deadSteps)
+	}
+}
+
+// runDeadSweep prints the degradation curve over the node-failure fraction:
+// the fault-injection simulator against the analytical effective-density
+// mirror, with a sim-vs-analysis agreement summary.
+func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps int) error {
+	if steps < 1 {
+		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
+	}
+	if maxDead < 0 || maxDead > 1 || math.IsNaN(maxDead) {
+		return fmt.Errorf("max-dead = %v must be in [0, 1]", maxDead)
+	}
+	fmt.Fprintf(w, "degradation curve: Bernoulli node death, %d trials/point\n", base.Trials)
+	fmt.Fprintf(w, "%-10s  %-10s  %-9s  %-9s  %-7s\n", "dead_frac", "alive_frac", "analysis", "sim", "diff")
+	maxDiff, prev := 0.0, math.Inf(1)
+	monotone := true
+	for i := 0; i <= steps; i++ {
+		f := maxDead * float64(i) / float64(steps)
+		ana, err := detect.Degraded(base.Params, f, 1, detect.MSOptions{})
+		if err != nil {
+			return err
+		}
+		cfg := base
+		if f > 0 {
+			cfg.Faults = faults.Bernoulli{DeadFrac: f}
+		}
+		res, err := gbd.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		diff := math.Abs(ana.DetectionProb - res.DetectionProb)
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+		if res.DetectionProb > prev+0.02 {
+			monotone = false
+		}
+		prev = res.DetectionProb
+		alive := 1.0
+		if f > 0 {
+			alive = res.Faults.MeanAliveFrac
+		}
+		fmt.Fprintf(w, "%-10.2f  %-10.4f  %-9.4f  %-9.4f  %-7.4f\n",
+			f, alive, ana.DetectionProb, res.DetectionProb, diff)
+	}
+	fmt.Fprintf(w, "max |analysis - sim| = %.4f\n", maxDiff)
+	fmt.Fprintf(w, "sim detection monotone non-increasing: %v\n", monotone)
+	return nil
+}
+
+// runLossSweep prints the degradation curve over the per-hop loss rate. The
+// analysis has no multi-hop model, so each row feeds the simulator's own
+// measured arrived-report fraction into the thinning mirror Pd' = Pd*p.
+func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRange, maxLoss float64, steps int) error {
+	if steps < 1 {
+		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
+	}
+	if maxLoss < 0 || maxLoss >= 1 || math.IsNaN(maxLoss) {
+		return fmt.Errorf("max-loss = %v must be in [0, 1)", maxLoss)
+	}
+	fmt.Fprintf(w, "loss degradation curve: %.0f m radios, %d retries, %d trials/point\n",
+		commRange, loss.MaxRetries, base.Trials)
+	fmt.Fprintf(w, "%-9s  %-12s  %-8s  %-9s  %-9s  %-7s\n",
+		"hop_loss", "arrived_frac", "rerouted", "analysis", "sim", "diff")
+	maxDiff := 0.0
+	for i := 0; i <= steps; i++ {
+		rate := maxLoss * float64(i) / float64(steps)
+		cfg := base
+		cfg.CommRange = commRange
+		cfg.Loss = loss
+		cfg.Loss.PerHopDelivery = 1 - rate
+		res, err := gbd.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		arrived := res.Faults.ArrivedFrac()
+		ana, err := detect.Degraded(base.Params, 0, arrived, detect.MSOptions{})
+		if err != nil {
+			return err
+		}
+		diff := math.Abs(ana.DetectionProb - res.DetectionProb)
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+		fmt.Fprintf(w, "%-9.2f  %-12.4f  %-8d  %-9.4f  %-9.4f  %-7.4f\n",
+			rate, arrived, res.Faults.Rerouted, ana.DetectionProb, res.DetectionProb, diff)
+	}
+	fmt.Fprintf(w, "max |analysis - sim| = %.4f (analysis uses measured arrived_frac)\n", maxDiff)
+	return nil
+}
+
+// runScenario runs one fault model (hazard or blob) against the fault-free
+// baseline and reports the detection hit alongside the fault accounting.
+func runScenario(w io.Writer, base gbd.SimConfig, model faults.Model, label string) error {
+	healthy, err := gbd.Simulate(base)
+	if err != nil {
+		return err
+	}
+	cfg := base
+	cfg.Faults = model
+	res, err := gbd.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scenario: %s, %d trials\n", label, base.Trials)
+	fmt.Fprintf(w, "fault-free detection:  %.4f\n", healthy.DetectionProb)
+	fmt.Fprintf(w, "degraded detection:    %.4f (95%% CI [%.4f, %.4f])\n",
+		res.DetectionProb, res.CI.Lo, res.CI.Hi)
+	fmt.Fprintf(w, "mean alive fraction:   %.4f\n", res.Faults.MeanAliveFrac)
+	ana, err := detect.Degraded(base.Params, 1-res.Faults.MeanAliveFrac, 1, detect.MSOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "analysis at effective density: %.4f  |  |diff| = %.4f\n",
+		ana.DetectionProb, math.Abs(ana.DetectionProb-res.DetectionProb))
+	fmt.Fprintln(w, "note: the analysis assumes independent uniform thinning; correlated or")
+	fmt.Fprintln(w, "time-varying failures can sit below it at the same mean alive fraction.")
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeadSweepOutput(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-trials", "300", "-dead-steps", "2", "-max-dead", "0.4"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dead_frac", "analysis", "sim", "max |analysis - sim|", "monotone non-increasing: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Title + header + 3 sweep rows + 2 summary lines.
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 7 {
+		t.Errorf("line count = %d, want 7:\n%s", lines, out)
+	}
+}
+
+func TestLossSweepOutput(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-trials", "200", "-loss-sweep", "-dead-steps", "2", "-max-loss", "0.4"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"hop_loss", "arrived_frac", "rerouted", "6000 m radios"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScenarioOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trials", "200", "-hazard", "0.05"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "battery hazard") || !strings.Contains(sb.String(), "mean alive fraction") {
+		t.Errorf("hazard output unexpected:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-trials", "200", "-blob-radius", "8000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "correlated blob failure") {
+		t.Errorf("blob output unexpected:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-trials", "0"},
+		{"-n", "-1"},
+		{"-unknown"},
+		{"-dead-steps", "0"},
+		{"-max-dead", "1.5"},
+		{"-loss-sweep", "-max-loss", "1"},
+		{"-loss-sweep", "-comm-range", "-5"},
+		{"-retries", "-1", "-loss-sweep"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

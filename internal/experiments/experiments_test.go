@@ -230,8 +230,8 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 14 {
-		t.Fatalf("tables = %d, want 14", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("tables = %d, want 16", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tbl := range tables {
@@ -374,5 +374,69 @@ func TestSensitivitiesTable(t *testing.T) {
 		if row[0] != "FieldSide" && e <= 0 {
 			t.Errorf("%s elasticity should be positive: %v", row[0], row)
 		}
+	}
+}
+
+func TestDegradationTable(t *testing.T) {
+	opt := quickOpt()
+	opt.Trials = 600
+	tbl, err := Degradation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (quick sweep)", len(tbl.Rows))
+	}
+	prev := 2.0
+	for _, row := range tbl.Rows {
+		ana := parseFloat(t, row[2])
+		simP := parseFloat(t, row[3])
+		diff := parseFloat(t, row[4])
+		if diff > 0.12 {
+			t.Errorf("dead_frac %s: sim %v vs analysis %v disagree by %v", row[0], simP, ana, diff)
+		}
+		if simP > prev+0.03 {
+			t.Errorf("dead_frac %s: sim detection %v rose above %v", row[0], simP, prev)
+		}
+		prev = simP
+	}
+	// The fault-free point must match the plain campaign within Monte
+	// Carlo error (acceptance criterion for the degradation curve).
+	first := tbl.Rows[0]
+	if parseFloat(t, first[4]) > 0.06 {
+		t.Errorf("fault-free row disagrees with analysis: %v", first)
+	}
+	if parseFloat(t, first[1]) != 1 {
+		t.Errorf("fault-free alive fraction %v, want 1", first[1])
+	}
+}
+
+func TestLossDegradationTable(t *testing.T) {
+	opt := quickOpt()
+	opt.Trials = 400
+	tbl, err := LossDegradation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (quick sweep)", len(tbl.Rows))
+	}
+	prevArrived := 2.0
+	for _, row := range tbl.Rows {
+		arrived := parseFloat(t, row[1])
+		if arrived < 0 || arrived > 1 {
+			t.Errorf("arrived fraction %v out of range", arrived)
+		}
+		if arrived > prevArrived+0.02 {
+			t.Errorf("arrived fraction %v rose above %v as loss grew", arrived, prevArrived)
+		}
+		if parseFloat(t, row[5]) > 0.15 {
+			t.Errorf("hop_loss %s: thinning mirror disagrees with sim: %v", row[0], row)
+		}
+		prevArrived = arrived
+	}
+	// Lossless first row: nearly everything arrives on the ONR parameters.
+	if parseFloat(t, tbl.Rows[0][1]) < 0.9 {
+		t.Errorf("lossless arrived fraction %v too low", tbl.Rows[0][1])
 	}
 }

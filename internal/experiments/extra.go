@@ -264,6 +264,7 @@ func All(opt Options) ([]*Table, error) {
 	runners := []func(Options) (*Table, error){
 		Fig8, Fig9a, Fig9b, Fig9c, Timing, ExtensionH, KMinTable, Boundary, CommCheck,
 		Latency, TApproachExplosion, Coverage, EndToEnd, Sensitivities,
+		Degradation, LossDegradation,
 	}
 	tables := make([]*Table, 0, len(runners))
 	for _, run := range runners {

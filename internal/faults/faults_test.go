@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+func deployment(t *testing.T, n int, bounds geom.Rect, seed int64) []geom.Point {
+	t.Helper()
+	pts, err := field.Uniform(n, bounds, field.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestNoneKeepsEveryoneAlive(t *testing.T) {
+	bounds := geom.Square(1000)
+	nodes := deployment(t, 50, bounds, 1)
+	masks, err := None{}.Masks(nodes, bounds, 5, field.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masks) != 5 {
+		t.Fatalf("periods = %d", len(masks))
+	}
+	for t2, m := range masks {
+		if AliveFraction(m) != 1 {
+			t.Errorf("period %d alive fraction %v", t2+1, AliveFraction(m))
+		}
+	}
+}
+
+func TestBernoulliDeadFraction(t *testing.T) {
+	bounds := geom.Square(1000)
+	nodes := deployment(t, 5000, bounds, 3)
+	masks, err := Bernoulli{DeadFrac: 0.3}.Masks(nodes, bounds, 4, field.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AliveFraction(masks[0])
+	if math.Abs(got-0.7) > 0.03 {
+		t.Errorf("alive fraction %v, want ~0.7", got)
+	}
+	// Death is decided once: the mask is constant across periods.
+	for p := 1; p < len(masks); p++ {
+		for i := range masks[p] {
+			if masks[p][i] != masks[0][i] {
+				t.Fatalf("period %d mask differs from period 1", p+1)
+			}
+		}
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	bounds := geom.Square(100)
+	nodes := deployment(t, 3, bounds, 5)
+	if _, err := (Bernoulli{DeadFrac: 1.5}).Masks(nodes, bounds, 3, field.NewRand(1)); err == nil {
+		t.Error("dead fraction > 1 should fail")
+	}
+	if _, err := (Bernoulli{DeadFrac: 0.5}).Masks(nodes, bounds, 0, field.NewRand(1)); err == nil {
+		t.Error("zero periods should fail")
+	}
+}
+
+func TestLifetimeMonotoneAndGeometric(t *testing.T) {
+	bounds := geom.Square(1000)
+	nodes := deployment(t, 4000, bounds, 6)
+	const hazard = 0.1
+	masks, err := Lifetime{Hazard: hazard}.Masks(nodes, bounds, 10, field.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for p, m := range masks {
+		frac := AliveFraction(m)
+		if frac > prev {
+			t.Fatalf("period %d alive fraction %v rose above %v", p+1, frac, prev)
+		}
+		want := math.Pow(1-hazard, float64(p+1))
+		if math.Abs(frac-want) > 0.03 {
+			t.Errorf("period %d alive fraction %v, want ~%v", p+1, frac, want)
+		}
+		prev = frac
+	}
+	// Once dead, stays dead.
+	for p := 1; p < len(masks); p++ {
+		for i := range masks[p] {
+			if masks[p][i] && !masks[p-1][i] {
+				t.Fatalf("node %d resurrected at period %d", i, p+1)
+			}
+		}
+	}
+}
+
+func TestBlobKillsDiskFromEventPeriod(t *testing.T) {
+	bounds := geom.Square(1000)
+	// A 3x3 grid of known positions.
+	var nodes []geom.Point
+	for _, x := range []float64{100, 500, 900} {
+		for _, y := range []float64{100, 500, 900} {
+			nodes = append(nodes, geom.Point{X: x, Y: y})
+		}
+	}
+	center := geom.Point{X: 500, Y: 500}
+	masks, err := Blob{Radius: 450, At: 3, Center: &center}.Masks(nodes, bounds, 5, field.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		inBlast := nodes[i].Dist(center) <= 450
+		for p := range masks {
+			wantAlive := !(inBlast && p >= 2) // periods 3..5 post-event
+			if masks[p][i] != wantAlive {
+				t.Errorf("node %d period %d alive = %v, want %v", i, p+1, masks[p][i], wantAlive)
+			}
+		}
+	}
+}
+
+func TestBlobRandomCenterDeterministicPerSeed(t *testing.T) {
+	bounds := geom.Square(1000)
+	nodes := deployment(t, 200, bounds, 9)
+	a, err := Blob{Radius: 300}.Masks(nodes, bounds, 4, field.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Blob{Radius: 300}.Masks(nodes, bounds, 4, field.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a {
+		for i := range a[p] {
+			if a[p][i] != b[p][i] {
+				t.Fatal("same seed produced different masks")
+			}
+		}
+	}
+}
+
+func TestComposeIntersects(t *testing.T) {
+	bounds := geom.Square(1000)
+	nodes := deployment(t, 2000, bounds, 11)
+	model := Compose{Bernoulli{DeadFrac: 0.2}, Bernoulli{DeadFrac: 0.2}}
+	masks, err := model.Masks(nodes, bounds, 3, field.NewRand(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := AliveFraction(masks[0])
+	if math.Abs(got-0.64) > 0.04 {
+		t.Errorf("composed alive fraction %v, want ~0.64", got)
+	}
+	if _, err := (Compose{}).Masks(nodes, bounds, 3, field.NewRand(1)); err == nil {
+		t.Error("empty composition should fail")
+	}
+}
+
+func TestAliveFractionHelpers(t *testing.T) {
+	if AliveFraction(nil) != 1 {
+		t.Error("empty mask should count as fully alive")
+	}
+	if got := AliveFraction([]bool{true, false, true, false}); got != 0.5 {
+		t.Errorf("alive fraction %v, want 0.5", got)
+	}
+	masks := [][]bool{{true, true}, {true, false}}
+	if got := MeanAliveFraction(masks); got != 0.75 {
+		t.Errorf("mean alive fraction %v, want 0.75", got)
+	}
+}

@@ -121,3 +121,83 @@ func TestDeliveryDegradesGracefullyUnderFailures(t *testing.T) {
 		t.Errorf("30%% survival (%v) should be worse than 90%% (%v)", crippled, healthy)
 	}
 }
+
+// TestSubsetRoundTripsNodeIDs checks the id mapping both ways on a random
+// deployment: every surviving node appears exactly once, its mapped
+// original id points at the same position, and routes computed in the
+// subset translate to valid original ids.
+func TestSubsetRoundTripsNodeIDs(t *testing.T) {
+	bounds := geom.Square(32000)
+	pts, err := field.Uniform(120, bounds, field.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(pts, 6000, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := RandomFailures(n.Len(), 0.7, field.NewRand(22), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := n.Subset(keep, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 0
+	for _, k := range keep {
+		if k {
+			wantLen++
+		}
+	}
+	if sub.Len() != wantLen || len(mapping) != wantLen {
+		t.Fatalf("subset %d nodes, mapping %d, want %d", sub.Len(), len(mapping), wantLen)
+	}
+	// Forward: sub id -> original id -> same position, original alive.
+	seen := make(map[int]bool)
+	for subID, origID := range mapping {
+		if !keep[origID] {
+			t.Fatalf("mapping points at dead node %d", origID)
+		}
+		if seen[origID] {
+			t.Fatalf("original id %d mapped twice", origID)
+		}
+		seen[origID] = true
+		if sub.Node(subID) != n.Node(origID) {
+			t.Fatalf("sub node %d position differs from original %d", subID, origID)
+		}
+	}
+	// Reverse: every surviving original id is reachable through the
+	// inverse map, and inverse(forward) is the identity.
+	inverse := make(map[int]int, len(mapping))
+	for subID, origID := range mapping {
+		inverse[origID] = subID
+	}
+	for origID, k := range keep {
+		if !k {
+			if _, ok := inverse[origID]; ok {
+				t.Fatalf("dead node %d present in inverse map", origID)
+			}
+			continue
+		}
+		subID, ok := inverse[origID]
+		if !ok {
+			t.Fatalf("surviving node %d missing from subset", origID)
+		}
+		if mapping[subID] != origID {
+			t.Fatalf("round trip broke: %d -> %d -> %d", origID, subID, mapping[subID])
+		}
+	}
+	// A route in the subset maps to valid, alive original ids.
+	if sub.Connected(0, sub.Len()-1) {
+		path, _, err := sub.Route(0, sub.Len()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, subID := range path {
+			if !keep[mapping[subID]] {
+				t.Fatalf("route passes through dead original node %d", mapping[subID])
+			}
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/sensing"
+)
+
+// runFaultyTrial is the fault-injection variant of runTrial: sensors can be
+// dead (no sensing, no relaying) and reports can be lost or delayed in the
+// multi-hop network. It degenerates to exactly the plain trial when Faults
+// is nil and CommRange is 0 (and runTrial dispatches the plain path then).
+//
+// The trial keeps the plain path's determinism contract: all randomness
+// flows through the one per-trial rng, in a fixed order (deployment, fault
+// masks, track, then per-period sensing and delivery), so results are
+// independent of worker scheduling.
+func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
+	p := cfg.Params
+	rng := field.NewRand(field.DeriveSeed(cfg.Seed, int64(trial)))
+	bounds := geom.Square(p.FieldSide)
+
+	sensors, err := field.Uniform(p.N, bounds, rng)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := field.NewIndex(sensors, bounds, indexCellSize(p))
+	if err != nil {
+		return nil, err
+	}
+	disk, err := sensing.NewDisk(p.Rs, p.Pd)
+	if err != nil {
+		return nil, err
+	}
+	var exposure sensing.Exposure
+	if cfg.ExposureLambda > 0 {
+		exposure, err = sensing.NewExposure(p.Rs, cfg.ExposureLambda)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fa, err := sensing.NewFalseAlarm(cfg.FalseAlarmP)
+	if err != nil {
+		return nil, err
+	}
+
+	mission := cfg.MissionPeriods
+
+	// Fault masks for the whole mission, drawn before the track so the
+	// rng order is stable regardless of the motion model.
+	var masks [][]bool
+	if cfg.Faults != nil {
+		masks, err = cfg.Faults.Masks(sensors, bounds, mission, rng)
+		if err != nil {
+			return nil, err
+		}
+		if len(masks) != mission {
+			return nil, fmt.Errorf("fault model returned %d masks for %d periods: %w", len(masks), mission, ErrConfig)
+		}
+		for t, m := range masks {
+			if len(m) != p.N {
+				return nil, fmt.Errorf("fault mask %d covers %d of %d nodes: %w", t+1, len(m), p.N, ErrConfig)
+			}
+		}
+	}
+
+	// The communication substrate: a base station at the node nearest the
+	// field center (assumed mains-powered, so it never fails), and a
+	// unit-disk network over the survivors of each period.
+	withDelivery := cfg.CommRange > 0 && p.N > 0
+	var relay *relayState
+	if withDelivery {
+		relay, err = newRelayState(sensors, cfg.CommRange, bounds)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	track, err := sampleTrack(cfg, bounds, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &TrialResult{}
+	if detailed {
+		tr.Track = track
+		tr.Sensors = sensors
+		tr.PerPeriod = make([]int, mission)
+	}
+	arrivals := make([]int, mission+1) // 1-based arrival period at the base
+	reported := make(map[int]bool)
+	aliveFracSum := 0.0
+
+	// deliver routes one report generated in period through the network
+	// (or counts it directly when delivery modeling is off).
+	deliver := func(id, period int, mask []bool) error {
+		tr.Faults.Generated++
+		if !withDelivery {
+			arrivals[period]++
+			tr.Faults.Delivered++
+			if detailed {
+				reported[id] = true
+			}
+			return nil
+		}
+		d, err := relay.send(id, mask, cfg.Loss, rng)
+		if err != nil {
+			return err
+		}
+		if d.Rerouted {
+			tr.Faults.Rerouted++
+		}
+		switch d.Outcome {
+		case netsim.Delivered:
+			arrivals[period]++
+			tr.Faults.Delivered++
+			if detailed {
+				reported[id] = true
+			}
+		case netsim.Late:
+			at := period + d.PeriodsLate(p.T)
+			if at > mission {
+				tr.Faults.Lost++ // the mission ended before it arrived
+				return nil
+			}
+			arrivals[at]++
+			tr.Faults.Late++
+			if detailed {
+				reported[id] = true
+			}
+		case netsim.Lost:
+			tr.Faults.Lost++
+		}
+		return nil
+	}
+
+	buf := make([]int, 0, 16)
+	for period := 1; period <= mission; period++ {
+		var mask []bool
+		if masks != nil {
+			mask = masks[period-1]
+			aliveFracSum += faults.AliveFraction(mask)
+		} else {
+			aliveFracSum++
+		}
+		seg := geom.Segment{A: track[period-1], B: track[period]}
+		segSpeed := seg.Length() / p.T.Seconds()
+		buf = idx.QuerySegment(seg, p.Rs, buf[:0])
+		for _, id := range buf {
+			if mask != nil && !mask[id] {
+				continue // dead sensors do not sense
+			}
+			detected := false
+			if cfg.ExposureLambda > 0 {
+				detected = exposure.Detects(sensors[id], seg, segSpeed, rng)
+			} else {
+				detected = disk.Detects(sensors[id], seg, rng)
+			}
+			if detected {
+				if err := deliver(id, period, mask); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if fa.P > 0 {
+			for s := 0; s < p.N; s++ {
+				if mask != nil && !mask[s] {
+					continue // dead sensors do not false-alarm either
+				}
+				if fa.Fires(rng) {
+					if err := deliver(s, period, mask); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	tr.Faults.MeanAliveFrac = aliveFracSum / float64(mission)
+
+	// The base evaluates the K-of-M sliding window on what actually
+	// arrived, period by period.
+	for period := 1; period <= mission; period++ {
+		tr.Reports += arrivals[period]
+		if detailed {
+			tr.PerPeriod[period-1] = arrivals[period]
+		}
+		if tr.DetectedAt == 0 {
+			winSum := 0
+			lo := period - p.M + 1
+			if lo < 1 {
+				lo = 1
+			}
+			for q := lo; q <= period; q++ {
+				winSum += arrivals[q]
+			}
+			if winSum >= p.K {
+				tr.DetectedAt = period
+			}
+		}
+	}
+	tr.Detected = tr.DetectedAt > 0
+	if detailed {
+		tr.Reporters = make([]int, 0, len(reported))
+		for id := range reported {
+			tr.Reporters = append(tr.Reporters, id)
+		}
+	}
+	return tr, nil
+}
+
+// relayState owns the communication network of one trial: the full
+// unit-disk graph, the base station choice, and a cached alive-subset
+// network that is rebuilt only when the alive mask changes.
+type relayState struct {
+	full   *netsim.Network
+	bounds geom.Rect
+	base   int // base station id in the full network
+
+	// Cached alive subgraph for the current mask.
+	mask      []bool
+	sub       *netsim.Network
+	origToSub []int // -1 for dead nodes
+	subBase   int
+}
+
+func newRelayState(sensors []geom.Point, commRange float64, bounds geom.Rect) (*relayState, error) {
+	full, err := netsim.New(sensors, commRange, bounds)
+	if err != nil {
+		return nil, err
+	}
+	center := geom.Point{
+		X: (bounds.MinX + bounds.MaxX) / 2,
+		Y: (bounds.MinY + bounds.MaxY) / 2,
+	}
+	base := 0
+	for i, s := range sensors {
+		if s.Dist(center) < sensors[base].Dist(center) {
+			base = i
+		}
+	}
+	return &relayState{full: full, bounds: bounds, base: base}, nil
+}
+
+// send forwards a report from sensor id to the base over the network
+// induced by the alive mask (nil means everyone is alive). The base is
+// protected: it relays even when the mask marks it dead.
+func (r *relayState) send(id int, mask []bool, loss netsim.LossModel, rng *rand.Rand) (netsim.Delivery, error) {
+	if mask == nil {
+		return r.full.Send(id, r.base, loss, rng)
+	}
+	if err := r.refresh(mask); err != nil {
+		return netsim.Delivery{}, err
+	}
+	src := r.origToSub[id]
+	if src < 0 {
+		// Defensive: dead sensors are filtered before sensing, so a report
+		// from one is a bug in the caller.
+		return netsim.Delivery{}, fmt.Errorf("report from dead sensor %d: %w", id, ErrConfig)
+	}
+	return r.sub.Send(src, r.subBase, loss, rng)
+}
+
+// refresh rebuilds the alive subgraph when the mask changed.
+func (r *relayState) refresh(mask []bool) error {
+	if r.mask != nil && sameMask(r.mask, mask) {
+		return nil
+	}
+	keep := append([]bool(nil), mask...)
+	keep[r.base] = true // the base station survives
+	sub, origIDs, err := r.full.Subset(keep, r.bounds)
+	if err != nil {
+		return err
+	}
+	origToSub := make([]int, len(mask))
+	for i := range origToSub {
+		origToSub[i] = -1
+	}
+	for subID, orig := range origIDs {
+		origToSub[orig] = subID
+	}
+	r.mask = append(r.mask[:0], mask...)
+	r.sub = sub
+	r.origToSub = origToSub
+	r.subBase = origToSub[r.base]
+	return nil
+}
+
+func sameMask(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -15,10 +15,13 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sensing"
 	"github.com/groupdetect/gbd/internal/stats"
 	"github.com/groupdetect/gbd/internal/target"
@@ -81,6 +84,22 @@ type Config struct {
 	// accumulates K reports. Zero means Params.M (the paper's setting,
 	// where mission and window coincide).
 	MissionPeriods int
+	// Faults, when non-nil, injects node failures: a sensor dead in a
+	// period neither senses nor relays during it. The paper assumes
+	// immortal sensors (Faults == nil).
+	Faults faults.Model
+	// CommRange, when positive, stops assuming instant lossless report
+	// delivery: sensors form a unit-disk network over this radio range and
+	// every report is forwarded hop by hop to a base station at the node
+	// nearest the field center under the Loss model. Reports lost in
+	// transit never count toward the K-of-M rule; reports arriving in a
+	// later period count at their arrival period. Zero keeps the paper's
+	// delivery assumption.
+	CommRange float64
+	// Loss tunes the lossy channel when CommRange is set. Zero-value
+	// fields default to a reliable baseline: PerHopDelivery 1, PerHop 10s,
+	// no retries, Budget = one sensing period.
+	Loss netsim.LossModel
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -117,8 +136,28 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Model == nil {
 		c.Model = target.Straight{Step: c.Params.Vt()}
 	}
+	if c.CommRange < 0 || math.IsNaN(c.CommRange) {
+		return c, fmt.Errorf("comm range %v must be >= 0: %w", c.CommRange, ErrConfig)
+	}
+	if c.CommRange > 0 {
+		if c.Loss.PerHopDelivery == 0 {
+			c.Loss.PerHopDelivery = 1
+		}
+		if c.Loss.PerHop == 0 {
+			c.Loss.PerHop = 10 * time.Second
+		}
+		if c.Loss.Budget == 0 {
+			c.Loss.Budget = c.Params.T
+		}
+		if err := c.Loss.Validate(); err != nil {
+			return c, err
+		}
+	}
 	return c, nil
 }
+
+// faulty reports whether the fault-injection trial path is needed.
+func (c Config) faulty() bool { return c.Faults != nil || c.CommRange > 0 }
 
 // Result summarizes a simulation campaign.
 type Result struct {
@@ -136,6 +175,44 @@ type Result struct {
 	Latency stats.Histogram
 	// MeanReports is the average number of reports per trial.
 	MeanReports float64
+	// Faults summarizes the fault-injection accounting; it is zero when
+	// neither Faults nor CommRange was configured.
+	Faults FaultStats
+}
+
+// FaultStats aggregates what the fault-injection layer did to the report
+// stream across a campaign (or, on TrialResult, one trial).
+type FaultStats struct {
+	// Generated counts reports produced by alive sensors; with delivery
+	// modeling enabled, Delivered of them arrived within their generating
+	// period, Late arrived in a later period but still inside the mission,
+	// and Lost never reached the base (dropped in transit, partitioned, or
+	// arrived after the mission ended).
+	Generated, Delivered, Late, Lost int
+	// Rerouted counts reports whose greedy route hit a local minimum and
+	// was repaired with the shortest-path detour.
+	Rerouted int
+	// MeanAliveFrac is the alive sensor fraction averaged over periods
+	// (and, on Result, over trials). 1 when no fault model is set.
+	MeanAliveFrac float64
+}
+
+// ArrivedFrac is the fraction of generated reports that reached the base
+// in time to be counted (on time or late). 1 when nothing was generated.
+func (f FaultStats) ArrivedFrac() float64 {
+	if f.Generated == 0 {
+		return 1
+	}
+	return float64(f.Delivered+f.Late) / float64(f.Generated)
+}
+
+func (f *FaultStats) merge(other FaultStats) {
+	f.Generated += other.Generated
+	f.Delivered += other.Delivered
+	f.Late += other.Late
+	f.Lost += other.Lost
+	f.Rerouted += other.Rerouted
+	f.MeanAliveFrac += other.MeanAliveFrac // running sum; divided at the end
 }
 
 // TrialResult captures the details of a single trial, used by examples and
@@ -154,6 +231,9 @@ type TrialResult struct {
 	Sensors []geom.Point
 	// Reporters lists the sensor ids that generated at least one report.
 	Reporters []int
+	// Faults carries the per-trial fault accounting (zero without faults
+	// or delivery modeling).
+	Faults FaultStats
 }
 
 // Run executes the campaign and aggregates the results.
@@ -166,6 +246,7 @@ func Run(cfg Config) (*Result, error) {
 		detections int
 		hist       stats.Histogram
 		latency    stats.Histogram
+		faults     FaultStats
 		err        error
 	}
 	workers := cfg.Workers
@@ -196,6 +277,7 @@ func Run(cfg Config) (*Result, error) {
 					p.err = err
 					return
 				}
+				p.faults.merge(tr.Faults)
 			}
 		}(w)
 	}
@@ -209,7 +291,10 @@ func Run(cfg Config) (*Result, error) {
 		res.Detections += parts[i].detections
 		res.Reports.Merge(&parts[i].hist)
 		res.Latency.Merge(&parts[i].latency)
+		res.Faults.merge(parts[i].faults)
 	}
+	// Per-trial mean alive fractions were summed during merging.
+	res.Faults.MeanAliveFrac /= float64(res.Trials)
 	res.DetectionProb = float64(res.Detections) / float64(res.Trials)
 	res.MeanReports = res.Reports.Mean()
 	ci, err := stats.WilsonInterval(res.Detections, res.Trials, 1.96)
@@ -233,6 +318,9 @@ func RunTrial(cfg Config, trial int) (*TrialResult, error) {
 }
 
 func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
+	if cfg.faulty() {
+		return runFaultyTrial(cfg, trial, detailed)
+	}
 	p := cfg.Params
 	rng := field.NewRand(field.DeriveSeed(cfg.Seed, int64(trial)))
 	bounds := geom.Square(p.FieldSide)
