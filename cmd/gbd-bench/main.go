@@ -1,0 +1,172 @@
+// Command gbd-bench runs the hot-path benchmarks in-process via
+// testing.Benchmark and emits a machine-readable JSON report, so CI and
+// the committed BENCH_PR2.json snapshot use the same measurement path as
+// `go test -bench`. The benchmark bodies mirror bench_test.go exactly;
+// this command exists because test binaries cannot be imported, while the
+// tracked snapshot must be regenerable with one command.
+//
+// Usage:
+//
+//	gbd-bench [-out BENCH_PR2.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gbd-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark measurement in the emitted report.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchmarks lists the hot-path measurements the PR-2 acceptance criteria
+// track. Bodies mirror the same-named functions in bench_test.go.
+var benchmarks = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"SimulationSingleTrial", benchSimulationSingleTrial},
+	{"FaultyTrial", benchFaultyTrial},
+	{"LossyDelivery", benchLossyDelivery},
+	{"MSApproachConvolution", benchMSApproachConvolution},
+	{"CommCheck", benchCommCheck},
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gbd-bench", flag.ContinueOnError)
+	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var results []Result
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(bm.fn)
+		results = append(results, Result{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d allocs/op (%d iterations)\n",
+			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.N)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+func benchSimulationSingleTrial(b *testing.B) {
+	cfg := sim.Config{Params: detect.Defaults(), Trials: 1, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFaultyTrial(b *testing.B) {
+	cfg := sim.Config{
+		Params:    detect.Defaults(),
+		Trials:    1,
+		Faults:    faults.Bernoulli{DeadFrac: 0.2},
+		CommRange: 6000,
+		Loss: netsim.LossModel{
+			PerHopDelivery: 0.9,
+			MaxRetries:     2,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrial(cfg, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLossyDelivery(b *testing.B) {
+	bounds := geom.Square(32000)
+	rng := field.NewRand(1)
+	pts, err := field.Uniform(240, bounds, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netsim.New(pts, 6000, bounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := netsim.LossModel{
+		PerHopDelivery: 0.8,
+		MaxRetries:     2,
+		PerHop:         10 * time.Second,
+		Backoff:        5 * time.Second,
+		Budget:         time.Minute,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Send(i%len(pts), 0, loss, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMSApproachConvolution(b *testing.B) {
+	p := detect.Defaults().WithN(240)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := detect.MSApproach(p, detect.MSOptions{Gh: 6, G: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCommCheck(b *testing.B) {
+	bounds := geom.Square(32000)
+	pts, err := field.Uniform(240, bounds, field.NewRand(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net, err := netsim.New(pts, 6000, bounds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Delivery(0, 10*time.Second, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

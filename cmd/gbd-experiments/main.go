@@ -55,14 +55,15 @@ func run(args []string) error {
 		trials = fs.Int("trials", 0, "Monte Carlo trials per point (0 = paper's 10000)")
 		seed   = fs.Int64("seed", 1, "random seed")
 		quick  = fs.Bool("quick", false, "reduced sweeps and trial counts")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		plots  = fs.Bool("plot", false, "append ASCII charts for plottable experiments")
-		outDir = fs.String("out", "", "write per-experiment files into this directory instead of stdout")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		plots   = fs.Bool("plot", false, "append ASCII charts for plottable experiments")
+		outDir  = fs.String("out", "", "write per-experiment files into this directory instead of stdout")
+		workers = fs.Int("sweep-workers", 0, "concurrent sweep points per experiment (0 = all cores); output is identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	opt := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick, SweepWorkers: *workers}
 
 	var tables []*experiments.Table
 	if *exp == "all" {

@@ -31,6 +31,7 @@ import (
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/sweep"
 )
 
 func main() {
@@ -53,7 +54,8 @@ func run(args []string, w io.Writer) error {
 		k       = fs.Int("k", 5, "required reports")
 		trials  = fs.Int("trials", 2000, "Monte Carlo trials per point")
 		seed    = fs.Int64("seed", 1, "random seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+		workers = fs.Int("workers", 0, "parallel trial workers per point (0 = all cores)")
+		sweepW  = fs.Int("sweep-workers", 1, "concurrent sweep points (0 = all cores); output is identical at any setting")
 
 		maxDead   = fs.Float64("max-dead", 0.5, "largest dead fraction in the sweep")
 		deadSteps = fs.Int("dead-steps", 10, "number of sweep increments")
@@ -99,16 +101,16 @@ func run(args []string, w io.Writer) error {
 		return runScenario(w, base, faults.Blob{Radius: *blob},
 			fmt.Sprintf("correlated blob failure, radius %.0f m", *blob))
 	case *lossSweep:
-		return runLossSweep(w, base, loss, *commRange, *maxLoss, *deadSteps)
+		return runLossSweep(w, base, loss, *commRange, *maxLoss, *deadSteps, *sweepW)
 	default:
-		return runDeadSweep(w, base, *maxDead, *deadSteps)
+		return runDeadSweep(w, base, *maxDead, *deadSteps, *sweepW)
 	}
 }
 
 // runDeadSweep prints the degradation curve over the node-failure fraction:
 // the fault-injection simulator against the analytical effective-density
 // mirror, with a sim-vs-analysis agreement summary.
-func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps int) error {
+func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps, sweepWorkers int) error {
 	if steps < 1 {
 		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
 	}
@@ -117,13 +119,17 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps int) e
 	}
 	fmt.Fprintf(w, "degradation curve: Bernoulli node death, %d trials/point\n", base.Trials)
 	fmt.Fprintf(w, "%-10s  %-10s  %-9s  %-9s  %-7s\n", "dead_frac", "alive_frac", "analysis", "sim", "diff")
-	maxDiff, prev := 0.0, math.Inf(1)
-	monotone := true
-	for i := 0; i <= steps; i++ {
-		f := maxDead * float64(i) / float64(steps)
+	fracs := make([]float64, steps+1)
+	for i := range fracs {
+		fracs[i] = maxDead * float64(i) / float64(steps)
+	}
+	type deadPoint struct {
+		alive, ana, sim float64
+	}
+	points, err := sweep.Map(sweepWorkers, fracs, func(_ int, f float64) (deadPoint, error) {
 		ana, err := detect.Degraded(base.Params, f, 1, detect.MSOptions{})
 		if err != nil {
-			return err
+			return deadPoint{}, err
 		}
 		cfg := base
 		if f > 0 {
@@ -131,22 +137,32 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps int) e
 		}
 		res, err := gbd.Simulate(cfg)
 		if err != nil {
-			return err
+			return deadPoint{}, err
 		}
-		diff := math.Abs(ana.DetectionProb - res.DetectionProb)
-		if diff > maxDiff {
-			maxDiff = diff
-		}
-		if res.DetectionProb > prev+0.02 {
-			monotone = false
-		}
-		prev = res.DetectionProb
 		alive := 1.0
 		if f > 0 {
 			alive = res.Faults.MeanAliveFrac
 		}
+		return deadPoint{alive: alive, ana: ana.DetectionProb, sim: res.DetectionProb}, nil
+	})
+	if err != nil {
+		return err
+	}
+	// The running summary is order-dependent, so it walks the ordered
+	// results after the parallel collection.
+	maxDiff, prev := 0.0, math.Inf(1)
+	monotone := true
+	for i, pt := range points {
+		diff := math.Abs(pt.ana - pt.sim)
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+		if pt.sim > prev+0.02 {
+			monotone = false
+		}
+		prev = pt.sim
 		fmt.Fprintf(w, "%-10.2f  %-10.4f  %-9.4f  %-9.4f  %-7.4f\n",
-			f, alive, ana.DetectionProb, res.DetectionProb, diff)
+			fracs[i], pt.alive, pt.ana, pt.sim, diff)
 	}
 	fmt.Fprintf(w, "max |analysis - sim| = %.4f\n", maxDiff)
 	fmt.Fprintf(w, "sim detection monotone non-increasing: %v\n", monotone)
@@ -156,7 +172,7 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps int) e
 // runLossSweep prints the degradation curve over the per-hop loss rate. The
 // analysis has no multi-hop model, so each row feeds the simulator's own
 // measured arrived-report fraction into the thinning mirror Pd' = Pd*p.
-func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRange, maxLoss float64, steps int) error {
+func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRange, maxLoss float64, steps, sweepWorkers int) error {
 	if steps < 1 {
 		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
 	}
@@ -167,28 +183,41 @@ func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRa
 		commRange, loss.MaxRetries, base.Trials)
 	fmt.Fprintf(w, "%-9s  %-12s  %-8s  %-9s  %-9s  %-7s\n",
 		"hop_loss", "arrived_frac", "rerouted", "analysis", "sim", "diff")
-	maxDiff := 0.0
-	for i := 0; i <= steps; i++ {
-		rate := maxLoss * float64(i) / float64(steps)
+	rates := make([]float64, steps+1)
+	for i := range rates {
+		rates[i] = maxLoss * float64(i) / float64(steps)
+	}
+	type lossPoint struct {
+		arrived, ana, sim float64
+		rerouted          int
+	}
+	points, err := sweep.Map(sweepWorkers, rates, func(_ int, rate float64) (lossPoint, error) {
 		cfg := base
 		cfg.CommRange = commRange
 		cfg.Loss = loss
 		cfg.Loss.PerHopDelivery = 1 - rate
 		res, err := gbd.Simulate(cfg)
 		if err != nil {
-			return err
+			return lossPoint{}, err
 		}
 		arrived := res.Faults.ArrivedFrac()
 		ana, err := detect.Degraded(base.Params, 0, arrived, detect.MSOptions{})
 		if err != nil {
-			return err
+			return lossPoint{}, err
 		}
-		diff := math.Abs(ana.DetectionProb - res.DetectionProb)
+		return lossPoint{arrived: arrived, ana: ana.DetectionProb, sim: res.DetectionProb, rerouted: res.Faults.Rerouted}, nil
+	})
+	if err != nil {
+		return err
+	}
+	maxDiff := 0.0
+	for i, pt := range points {
+		diff := math.Abs(pt.ana - pt.sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
 		fmt.Fprintf(w, "%-9.2f  %-12.4f  %-8d  %-9.4f  %-9.4f  %-7.4f\n",
-			rate, arrived, res.Faults.Rerouted, ana.DetectionProb, res.DetectionProb, diff)
+			rates[i], pt.arrived, pt.rerouted, pt.ana, pt.sim, diff)
 	}
 	fmt.Fprintf(w, "max |analysis - sim| = %.4f (analysis uses measured arrived_frac)\n", maxDiff)
 	return nil

@@ -1,0 +1,147 @@
+package detect
+
+import (
+	"sync"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+// The analytical hot path builds the same intermediate objects over and
+// over during parameter sweeps: the Head/Body/Tail subarea decompositions
+// (fixed by Rs and Vt alone) and the per-stage report distributions (fixed
+// by the scenario minus M, since the window length only sets how many body
+// steps are chained downstream). Both are memoized here, so a sweep over N
+// shares all geometry work and a sweep over M (e.g. DetectionLatency)
+// shares everything.
+//
+// Cached values are shared and immutable: callers must never write to a
+// returned slice. Every current caller only reads them or feeds them to
+// allocating combinators (dist.Convolve and friends).
+
+// areaKey identifies a detectable-region decomposition.
+type areaKey struct {
+	rs, vt float64
+}
+
+// stageAreas holds the subarea slices of every stage: head and body are
+// AreaHAll/AreaBAll, tails[j-1] is AreaTAll(j) for tail step j.
+type stageAreas struct {
+	head, body []float64
+	tails      [][]float64
+}
+
+// stageKey identifies everything the per-stage report PMFs depend on.
+// M is deliberately absent.
+type stageKey struct {
+	rs, vt, fieldSide, pd float64
+	n, gh, g              int
+}
+
+type stagePMFEntry struct {
+	ph, pb dist.PMF
+	pt     []dist.PMF
+}
+
+// jointKey adds the saturated reporter-axis size of the Section-4
+// extension to the stage key.
+type jointKey struct {
+	stageKey
+	ys int
+}
+
+type stageJointEntry struct {
+	jh, jb dist.Joint
+	jt     []dist.Joint
+}
+
+// stageCacheLimit bounds each memo map. At the limit a map is dropped
+// wholesale: sweeps revisit keys in clusters, so an occasional cold
+// restart beats eviction bookkeeping.
+const stageCacheLimit = 256
+
+var stageCache = struct {
+	mu     sync.Mutex
+	areas  map[areaKey]*stageAreas
+	pmfs   map[stageKey]*stagePMFEntry
+	joints map[jointKey]*stageJointEntry
+}{
+	areas:  make(map[areaKey]*stageAreas),
+	pmfs:   make(map[stageKey]*stagePMFEntry),
+	joints: make(map[jointKey]*stageJointEntry),
+}
+
+// cachedAreas returns the (possibly memoized) subarea decomposition of
+// every stage for the given geometry.
+func cachedAreas(gm geom.DRGeometry) *stageAreas {
+	key := areaKey{rs: gm.Rs, vt: gm.Vt}
+	stageCache.mu.Lock()
+	a, ok := stageCache.areas[key]
+	stageCache.mu.Unlock()
+	if ok {
+		return a
+	}
+	a = &stageAreas{head: gm.AreaHAll(), body: gm.AreaBAll(), tails: make([][]float64, gm.Ms)}
+	for j := 1; j <= gm.Ms; j++ {
+		a.tails[j-1] = gm.AreaTAll(j)
+	}
+	stageCache.mu.Lock()
+	if len(stageCache.areas) >= stageCacheLimit {
+		stageCache.areas = make(map[areaKey]*stageAreas)
+	}
+	stageCache.areas[key] = a
+	stageCache.mu.Unlock()
+	return a
+}
+
+func pmfKey(p Params, gh, g int) stageKey {
+	return stageKey{rs: p.Rs, vt: p.Vt(), fieldSide: p.FieldSide, pd: p.Pd, n: p.N, gh: gh, g: g}
+}
+
+// cachedStagePMFs memoizes computeStagePMFs. Concurrent misses on the same
+// key may compute twice; the loser's entry simply replaces the winner's
+// equal one.
+func cachedStagePMFs(p Params, gh, g int) (*stagePMFEntry, error) {
+	key := pmfKey(p, gh, g)
+	stageCache.mu.Lock()
+	e, ok := stageCache.pmfs[key]
+	stageCache.mu.Unlock()
+	if ok {
+		return e, nil
+	}
+	ph, pb, pt, err := computeStagePMFs(p, gh, g)
+	if err != nil {
+		return nil, err
+	}
+	e = &stagePMFEntry{ph: ph, pb: pb, pt: pt}
+	stageCache.mu.Lock()
+	if len(stageCache.pmfs) >= stageCacheLimit {
+		stageCache.pmfs = make(map[stageKey]*stagePMFEntry)
+	}
+	stageCache.pmfs[key] = e
+	stageCache.mu.Unlock()
+	return e, nil
+}
+
+// cachedStageJoints memoizes computeStageJoints for the extension path.
+func cachedStageJoints(p Params, gh, g, ys int) (*stageJointEntry, error) {
+	key := jointKey{stageKey: pmfKey(p, gh, g), ys: ys}
+	stageCache.mu.Lock()
+	e, ok := stageCache.joints[key]
+	stageCache.mu.Unlock()
+	if ok {
+		return e, nil
+	}
+	jh, jb, jt, err := computeStageJoints(p, gh, g, ys)
+	if err != nil {
+		return nil, err
+	}
+	e = &stageJointEntry{jh: jh, jb: jb, jt: jt}
+	stageCache.mu.Lock()
+	if len(stageCache.joints) >= stageCacheLimit {
+		stageCache.joints = make(map[jointKey]*stageJointEntry)
+	}
+	stageCache.joints[key] = e
+	stageCache.mu.Unlock()
+	return e, nil
+}

@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"testing"
+)
+
+// TestStageCacheSharesEntries pins the memoization contract: repeated
+// analyses of the same scenario reuse one entry, and M is not part of the
+// key, so an M-sweep shares it too.
+func TestStageCacheSharesEntries(t *testing.T) {
+	p := Defaults()
+	a, err := cachedStagePMFs(p, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cachedStagePMFs(p, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second lookup of the same scenario did not hit the cache")
+	}
+	c, err := cachedStagePMFs(p.WithM(p.M+7), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("varying only M missed the cache; stage PMFs do not depend on M")
+	}
+	d, err := cachedStagePMFs(p.WithN(p.N+1), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Error("varying N must produce a distinct entry")
+	}
+}
+
+// TestStageCacheResultsMatchUncached checks a cache hit returns the same
+// distributions a fresh computation does.
+func TestStageCacheResultsMatchUncached(t *testing.T) {
+	p := Defaults().WithN(200)
+	cached, err := cachedStagePMFs(p, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err = cachedStagePMFs(p, 4, 3) // guaranteed hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, pb, pt, err := computeStagePMFs(p, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePMF := func(name string, a, b []float64) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: %g vs %g", name, i, a[i], b[i])
+			}
+		}
+	}
+	samePMF("ph", cached.ph, ph)
+	samePMF("pb", cached.pb, pb)
+	if len(cached.pt) != len(pt) {
+		t.Fatalf("pt count %d vs %d", len(cached.pt), len(pt))
+	}
+	for j := range pt {
+		samePMF("pt", cached.pt[j], pt[j])
+	}
+}
+
+// TestStageCacheBounded checks the wholesale-reset policy keeps each map at
+// or below the limit.
+func TestStageCacheBounded(t *testing.T) {
+	p := Defaults()
+	for i := 0; i < stageCacheLimit+20; i++ {
+		if _, err := cachedStagePMFs(p.WithN(60+i), 2, 2); err != nil {
+			t.Fatal(err)
+		}
+		stageCache.mu.Lock()
+		n := len(stageCache.pmfs)
+		stageCache.mu.Unlock()
+		if n > stageCacheLimit {
+			t.Fatalf("pmf cache grew to %d entries, limit is %d", n, stageCacheLimit)
+		}
+	}
+}
+
+// TestStageJointCacheSharesEntries covers the extension path's memo.
+func TestStageJointCacheSharesEntries(t *testing.T) {
+	p := Defaults()
+	a, err := cachedStageJoints(p, 3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cachedStageJoints(p, 3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second joint lookup did not hit the cache")
+	}
+	c, err := cachedStageJoints(p, 3, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("varying the reporter axis must produce a distinct entry")
+	}
+}

@@ -67,37 +67,26 @@ func MSApproachNodes(p Params, h int, opt MSOptions) (*NodesResult, error) {
 		}
 	}
 
-	s := p.FieldArea()
 	ys := h + 1
-	head := regionSet{areas: gm.AreaHAll(), fieldArea: s, n: p.N, pd: p.Pd}
-	jh, err := head.reportJoint(gh, ys)
+	st, err := cachedStageJoints(p, gh, g, ys)
 	if err != nil {
-		return nil, fmt.Errorf("head stage: %w", err)
-	}
-	body := regionSet{areas: gm.AreaBAll(), fieldArea: s, n: p.N, pd: p.Pd}
-	jb, err := body.reportJoint(g, ys)
-	if err != nil {
-		return nil, fmt.Errorf("body stage: %w", err)
+		return nil, err
 	}
 	// Exact report-axis bound across all stages.
-	xs := jh.XSize()
+	xs := st.jh.XSize()
 	bodySteps := p.M - gm.Ms - 1
-	xs += bodySteps * (jb.XSize() - 1)
-	tails := make([]dist.Joint, gm.Ms)
-	for j := 1; j <= gm.Ms; j++ {
-		tail := regionSet{areas: gm.AreaTAll(j), fieldArea: s, n: p.N, pd: p.Pd}
-		tails[j-1], err = tail.reportJoint(g, ys)
-		if err != nil {
-			return nil, fmt.Errorf("tail stage T%d: %w", j, err)
-		}
-		xs += tails[j-1].XSize() - 1
+	xs += bodySteps * (st.jb.XSize() - 1)
+	for _, t := range st.jt {
+		xs += t.XSize() - 1
 	}
 
-	total := jh
+	// ms >= 1, so at least one ConvolveJoint runs and total never aliases
+	// the cached jh.
+	total := st.jh
 	for i := 0; i < bodySteps; i++ {
-		total = dist.ConvolveJoint(total, jb, xs, ys)
+		total = dist.ConvolveJoint(total, st.jb, xs, ys)
 	}
-	for _, t := range tails {
+	for _, t := range st.jt {
 		total = dist.ConvolveJoint(total, t, xs, ys)
 	}
 
@@ -114,4 +103,35 @@ func MSApproachNodes(p Params, h int, opt MSOptions) (*NodesResult, error) {
 		res.DetectionProb = numeric.Clamp01(res.RawTail / res.Mass)
 	}
 	return res, nil
+}
+
+// computeStageJoints computes the per-stage (reports, distinct reporters)
+// joints of the Section-4 extension, with the reporter axis saturated at
+// ys-1. Callers go through cachedStageJoints.
+func computeStageJoints(p Params, gh, g, ys int) (jh, jb dist.Joint, jt []dist.Joint, err error) {
+	gm, err := p.Geometry()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	areas := cachedAreas(gm)
+	s := p.FieldArea()
+	head := regionSet{areas: areas.head, fieldArea: s, n: p.N, pd: p.Pd}
+	jh, err = head.reportJoint(gh, ys)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("head stage: %w", err)
+	}
+	body := regionSet{areas: areas.body, fieldArea: s, n: p.N, pd: p.Pd}
+	jb, err = body.reportJoint(g, ys)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("body stage: %w", err)
+	}
+	jt = make([]dist.Joint, gm.Ms)
+	for j := 1; j <= gm.Ms; j++ {
+		tail := regionSet{areas: areas.tails[j-1], fieldArea: s, n: p.N, pd: p.Pd}
+		jt[j-1], err = tail.reportJoint(g, ys)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("tail stage T%d: %w", j, err)
+		}
+	}
+	return jh, jb, jt, nil
 }

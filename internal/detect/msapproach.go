@@ -73,29 +73,30 @@ type MSResult struct {
 	PredictedAccuracy float64
 }
 
-// stagePMFs computes the per-stage report distributions: the Head NEDR
-// distribution ph, the Body NEDR distribution pb (shared by all
+// computeStagePMFs computes the per-stage report distributions: the Head
+// NEDR distribution ph, the Body NEDR distribution pb (shared by all
 // M-ms-1 body steps), and the ms Tail NEDR distributions pt[0..ms-1]
-// (pt[j-1] is period Tj's).
-func stagePMFs(p Params, gh, g int) (ph, pb dist.PMF, pt []dist.PMF, err error) {
+// (pt[j-1] is period Tj's). Callers go through cachedStagePMFs.
+func computeStagePMFs(p Params, gh, g int) (ph, pb dist.PMF, pt []dist.PMF, err error) {
 	gm, err := p.Geometry()
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	areas := cachedAreas(gm)
 	s := p.FieldArea()
-	head := regionSet{areas: gm.AreaHAll(), fieldArea: s, n: p.N, pd: p.Pd}
+	head := regionSet{areas: areas.head, fieldArea: s, n: p.N, pd: p.Pd}
 	ph, err = head.reportPMF(gh)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("head stage: %w", err)
 	}
-	body := regionSet{areas: gm.AreaBAll(), fieldArea: s, n: p.N, pd: p.Pd}
+	body := regionSet{areas: areas.body, fieldArea: s, n: p.N, pd: p.Pd}
 	pb, err = body.reportPMF(g)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("body stage: %w", err)
 	}
 	pt = make([]dist.PMF, gm.Ms)
 	for j := 1; j <= gm.Ms; j++ {
-		tail := regionSet{areas: gm.AreaTAll(j), fieldArea: s, n: p.N, pd: p.Pd}
+		tail := regionSet{areas: areas.tails[j-1], fieldArea: s, n: p.N, pd: p.Pd}
 		pt[j-1], err = tail.reportPMF(g)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("tail stage T%d: %w", j, err)
@@ -138,10 +139,11 @@ func MSApproach(p Params, opt MSOptions) (*MSResult, error) {
 		}
 	}
 
-	ph, pb, pt, err := stagePMFs(p, gh, g)
+	st, err := cachedStagePMFs(p, gh, g)
 	if err != nil {
 		return nil, err
 	}
+	ph, pb, pt := st.ph, st.pb, st.pt
 
 	var total dist.PMF
 	switch opt.Evaluator {

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestConvolveIntoMatchesConvolve checks ConvolveInto against Convolve
+// element for element (exact equality — the zero-skipping must not change
+// a single bit), including buffer reuse across calls and PMFs padded with
+// leading/trailing zeros.
+func TestConvolveIntoMatchesConvolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf PMF
+	for trial := 0; trial < 200; trial++ {
+		p := make(PMF, 1+rng.Intn(12))
+		q := make(PMF, 1+rng.Intn(12))
+		for i := range p {
+			if rng.Float64() < 0.6 { // sprinkle zeros, incl. at the edges
+				p[i] = rng.Float64()
+			}
+		}
+		for i := range q {
+			if rng.Float64() < 0.6 {
+				q[i] = rng.Float64()
+			}
+		}
+		want := Convolve(p, q)
+		buf = ConvolveInto(buf, p, q)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("trial %d: entry %d = %g, want exactly %g", trial, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConvolveIdentityExact checks that the point mass at zero is the
+// convolution identity for both variants, bit for bit.
+func TestConvolveIdentityExact(t *testing.T) {
+	p := PMF{0.2, 0, 0.5, 0.3}
+	id := Point(0, 1)
+	for name, got := range map[string]PMF{
+		"Convolve(p, id)":        Convolve(p, id),
+		"Convolve(id, p)":        Convolve(id, p),
+		"ConvolveInto(nil,p,id)": ConvolveInto(nil, p, id),
+		"ConvolveInto(nil,id,p)": ConvolveInto(nil, id, p),
+	} {
+		if len(got) != len(p) {
+			t.Fatalf("%s: length %d, want %d", name, len(got), len(p))
+		}
+		for i := range p {
+			if got[i] != p[i] {
+				t.Errorf("%s: entry %d = %g, want %g", name, i, got[i], p[i])
+			}
+		}
+	}
+}
+
+// TestConvolveEmpty checks that an empty operand yields an empty result,
+// and that ConvolveInto reports it by truncating dst.
+func TestConvolveEmpty(t *testing.T) {
+	p := PMF{0.5, 0.5}
+	if got := Convolve(p, PMF{}); len(got) != 0 {
+		t.Errorf("Convolve(p, empty) has length %d, want 0", len(got))
+	}
+	if got := Convolve(PMF{}, p); len(got) != 0 {
+		t.Errorf("Convolve(empty, p) has length %d, want 0", len(got))
+	}
+	buf := make(PMF, 8)
+	if got := ConvolveInto(buf, p, PMF{}); len(got) != 0 {
+		t.Errorf("ConvolveInto(buf, p, empty) has length %d, want 0", len(got))
+	}
+}
+
+// TestConvolvePowerZero checks that the 0-fold convolution is the identity
+// point mass, and the 1-fold is the distribution itself.
+func TestConvolvePowerZero(t *testing.T) {
+	p := PMF{0.1, 0.6, 0.3}
+	got := ConvolvePower(p, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ConvolvePower(p, 0) = %v, want point mass at 0", got)
+	}
+	one := ConvolvePower(p, 1)
+	if len(one) != len(p) {
+		t.Fatalf("ConvolvePower(p, 1) has length %d, want %d", len(one), len(p))
+	}
+	for i := range p {
+		if one[i] != p[i] {
+			t.Errorf("ConvolvePower(p, 1)[%d] = %g, want %g", i, one[i], p[i])
+		}
+	}
+}
+
+// TestConvolveIntoAllZeroOperand checks a PMF of all zeros (legal for the
+// sub-stochastic truncated analysis) convolves to all zeros without
+// touching stale buffer contents.
+func TestConvolveIntoAllZeroOperand(t *testing.T) {
+	buf := PMF{9, 9, 9, 9, 9}
+	got := ConvolveInto(buf, PMF{0, 0, 0}, PMF{0.5, 0.5})
+	if len(got) != 4 {
+		t.Fatalf("length %d, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("entry %d = %g, want 0", i, v)
+		}
+	}
+}

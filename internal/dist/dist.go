@@ -171,6 +171,45 @@ func Convolve(p, q PMF) PMF {
 	return out
 }
 
+// ConvolveInto computes Convolve(p, q) into dst, reusing dst's backing
+// array when it is large enough, and returns the (possibly regrown) result.
+// dst must not overlap p or q. Leading and trailing zero entries of p are
+// skipped outright — worthwhile for the analysis' sub-stochastic stage
+// PMFs, whose support is often much narrower than their storage. The
+// result is element-for-element identical to Convolve's: skipped terms
+// only ever contribute exact zeros.
+func ConvolveInto(dst, p, q PMF) PMF {
+	if len(p) == 0 || len(q) == 0 {
+		return dst[:0]
+	}
+	n := len(p) + len(q) - 1
+	if cap(dst) < n {
+		dst = make(PMF, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	lo, hi := 0, len(p)
+	for lo < hi && p[lo] == 0 {
+		lo++
+	}
+	for hi > lo && p[hi-1] == 0 {
+		hi--
+	}
+	for i := lo; i < hi; i++ {
+		pi := p[i]
+		if pi == 0 {
+			continue
+		}
+		for j, qj := range q {
+			dst[i+j] += pi * qj
+		}
+	}
+	return dst
+}
+
 // ConvolvePower returns the n-fold convolution p * p * ... * p using binary
 // exponentiation. n = 0 yields the identity (point mass at 0).
 func ConvolvePower(p PMF, n int) PMF {

@@ -9,6 +9,7 @@ import (
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sim"
+	"github.com/groupdetect/gbd/internal/sweep"
 )
 
 // deadFracSweep is the node-failure sweep for the degradation experiment:
@@ -54,13 +55,14 @@ func Degradation(opt Options) (*Table, error) {
 			"dead_frac", "alive_frac", "analysis", "sim", "diff",
 		},
 	}
-	maxDiff := 0.0
-	prev := math.Inf(1)
-	monotone := true
-	for _, f := range deadFracSweep(opt.Quick) {
+	fracs := deadFracSweep(opt.Quick)
+	type degPoint struct {
+		aliveFrac, ana, sim float64
+	}
+	points, err := sweep.Map(opt.SweepWorkers, fracs, func(_ int, f float64) (degPoint, error) {
 		ana, err := detect.Degraded(p, f, 1, detect.MSOptions{Gh: 4, G: 4})
 		if err != nil {
-			return nil, err
+			return degPoint{}, err
 		}
 		res, err := sim.Run(sim.Config{
 			Params: p,
@@ -69,17 +71,28 @@ func Degradation(opt Options) (*Table, error) {
 			Faults: faults.Bernoulli{DeadFrac: f},
 		})
 		if err != nil {
-			return nil, err
+			return degPoint{}, err
 		}
-		diff := math.Abs(ana.DetectionProb - res.DetectionProb)
+		return degPoint{aliveFrac: res.Faults.MeanAliveFrac, ana: ana.DetectionProb, sim: res.DetectionProb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The order-dependent summary statistics run over the ordered results,
+	// so they match the old sequential loop exactly.
+	maxDiff := 0.0
+	prev := math.Inf(1)
+	monotone := true
+	for i, pt := range points {
+		diff := math.Abs(pt.ana - pt.sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
-		if res.DetectionProb > prev+0.02 {
+		if pt.sim > prev+0.02 {
 			monotone = false
 		}
-		prev = res.DetectionProb
-		t.AddRow(f, res.Faults.MeanAliveFrac, ana.DetectionProb, res.DetectionProb, diff)
+		prev = pt.sim
+		t.AddRow(fracs[i], pt.aliveFrac, pt.ana, pt.sim, diff)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("max |analysis - sim| = %.4f over the sweep", maxDiff),
@@ -111,10 +124,12 @@ func LossDegradation(opt Options) (*Table, error) {
 			"hop_loss", "arrived_frac", "rerouted", "analysis", "sim", "diff",
 		},
 	}
-	maxDiff := 0.0
-	prev := math.Inf(1)
-	monotone := true
-	for _, loss := range lossSweep(opt.Quick) {
+	losses := lossSweep(opt.Quick)
+	type lossPoint struct {
+		arrived, ana, sim float64
+		rerouted          int
+	}
+	points, err := sweep.Map(opt.SweepWorkers, losses, func(_ int, loss float64) (lossPoint, error) {
 		res, err := sim.Run(sim.Config{
 			Params:    p,
 			Trials:    trials,
@@ -129,22 +144,31 @@ func LossDegradation(opt Options) (*Table, error) {
 			},
 		})
 		if err != nil {
-			return nil, err
+			return lossPoint{}, err
 		}
 		arrived := res.Faults.ArrivedFrac()
 		ana, err := detect.Degraded(p, 0, arrived, detect.MSOptions{Gh: 4, G: 4})
 		if err != nil {
-			return nil, err
+			return lossPoint{}, err
 		}
-		diff := math.Abs(ana.DetectionProb - res.DetectionProb)
+		return lossPoint{arrived: arrived, ana: ana.DetectionProb, sim: res.DetectionProb, rerouted: res.Faults.Rerouted}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxDiff := 0.0
+	prev := math.Inf(1)
+	monotone := true
+	for i, pt := range points {
+		diff := math.Abs(pt.ana - pt.sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
-		if res.DetectionProb > prev+0.02 {
+		if pt.sim > prev+0.02 {
 			monotone = false
 		}
-		prev = res.DetectionProb
-		t.AddRow(loss, arrived, res.Faults.Rerouted, ana.DetectionProb, res.DetectionProb, diff)
+		prev = pt.sim
+		t.AddRow(losses[i], pt.arrived, pt.rerouted, pt.ana, pt.sim, diff)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("max |analysis - sim| = %.4f with measured arrived_frac as p_deliver", maxDiff),

@@ -10,6 +10,7 @@ import (
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sim"
+	"github.com/groupdetect/gbd/internal/sweep"
 )
 
 // Timing reproduces the Section-3.4.5 execution-time comparison (E5): the
@@ -188,24 +189,33 @@ func Boundary(opt Options) (*Table, error) {
 		Columns: []string{"N", "analysis", "sim_confined", "sim_unconfined"},
 	}
 	ns := nSweep(opt.Quick)
-	for _, n := range ns {
+	type boundaryPoint struct {
+		ana, conf, unconf float64
+	}
+	points, err := sweep.Map(opt.SweepWorkers, ns, func(_, n int) (boundaryPoint, error) {
 		p := detect.Defaults().WithN(n)
 		ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3})
 		if err != nil {
-			return nil, err
+			return boundaryPoint{}, err
 		}
 		conf, err := sim.Run(sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n)})
 		if err != nil {
-			return nil, err
+			return boundaryPoint{}, err
 		}
 		unconf, err := sim.Run(sim.Config{
 			Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n),
 			Confine: sim.ConfineNone,
 		})
 		if err != nil {
-			return nil, err
+			return boundaryPoint{}, err
 		}
-		t.AddRow(n, ana.DetectionProb, conf.DetectionProb, unconf.DetectionProb)
+		return boundaryPoint{ana: ana.DetectionProb, conf: conf.DetectionProb, unconf: unconf.DetectionProb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		t.AddRow(ns[i], pt.ana, pt.conf, pt.unconf)
 	}
 	t.Notes = append(t.Notes,
 		"unconfined tracks leave the field and lose reports; the analysis models the confined case")
@@ -231,11 +241,15 @@ func CommCheck(opt Options) (*Table, error) {
 	}
 	bounds := geom.Square(32000)
 	center := geom.Point{X: 16000, Y: 16000}
-	for _, n := range ns {
+	type commPoint struct {
+		components int
+		stats      netsim.DeliveryStats
+	}
+	points, err := sweep.Map(opt.SweepWorkers, ns, func(_, n int) (commPoint, error) {
 		rng := field.NewRand(field.DeriveSeed(opt.Seed, int64(n)))
 		pts, err := field.Uniform(n, bounds, rng)
 		if err != nil {
-			return nil, err
+			return commPoint{}, err
 		}
 		base := 0
 		for i, p := range pts {
@@ -245,14 +259,20 @@ func CommCheck(opt Options) (*Table, error) {
 		}
 		net, err := netsim.New(pts, 6000, bounds)
 		if err != nil {
-			return nil, err
+			return commPoint{}, err
 		}
 		stats, err := net.Delivery(base, 10*time.Second, time.Minute)
 		if err != nil {
-			return nil, err
+			return commPoint{}, err
 		}
-		t.AddRow(n, net.Components(), fmt.Sprintf("%d/%d", stats.Reachable, stats.Nodes),
-			stats.MaxHops, stats.MeanHops, stats.GreedyOK, stats.WithinBudget)
+		return commPoint{components: net.Components(), stats: stats}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		t.AddRow(ns[i], pt.components, fmt.Sprintf("%d/%d", pt.stats.Reachable, pt.stats.Nodes),
+			pt.stats.MaxHops, pt.stats.MeanHops, pt.stats.GreedyOK, pt.stats.WithinBudget)
 	}
 	t.Notes = append(t.Notes,
 		"paper assumes ~6 hops complete within one sensing period; this measures it per deployment")

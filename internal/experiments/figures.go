@@ -6,6 +6,7 @@ import (
 
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/sim"
+	"github.com/groupdetect/gbd/internal/sweep"
 	"github.com/groupdetect/gbd/internal/target"
 )
 
@@ -34,25 +35,36 @@ func Fig8(opt Options) (*Table, error) {
 	if opt.Quick {
 		step = 50
 	}
-	maxRatio := 0.0
+	var ns []int
 	for n := 60; n <= 260; n += step {
+		ns = append(ns, n)
+	}
+	type fig8Point struct{ g, gh, gs int }
+	points, err := sweep.Map(opt.SweepWorkers, ns, func(_, n int) (fig8Point, error) {
 		p := detect.Defaults().WithN(n)
 		g, err := detect.RequiredBodyG(p, 0.99)
 		if err != nil {
-			return nil, err
+			return fig8Point{}, err
 		}
 		gh, err := detect.RequiredHeadG(p, 0.99)
 		if err != nil {
-			return nil, err
+			return fig8Point{}, err
 		}
 		gs, err := detect.RequiredSG(p, 0.99)
 		if err != nil {
-			return nil, err
+			return fig8Point{}, err
 		}
-		if r := float64(gs) / float64(max(gh, 1)); r > maxRatio {
+		return fig8Point{g: g, gh: gh, gs: gs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxRatio := 0.0
+	for i, pt := range points {
+		if r := float64(pt.gs) / float64(max(pt.gh, 1)); r > maxRatio {
 			maxRatio = r
 		}
-		t.AddRow(n, g, gh, gs)
+		t.AddRow(ns[i], pt.g, pt.gh, pt.gs)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("shape check: G exceeds gh by up to %.1fx; paper reports G >> gh >= g", maxRatio))
@@ -70,36 +82,45 @@ type fig9Point struct {
 }
 
 func runFig9Sweep(opt Options, normalize bool, model func(p detect.Params) target.Model) ([]fig9Point, error) {
-	var points []fig9Point
+	// Flatten the (V, N) grid so every point is one independent sweep
+	// unit; each derives its campaign seed from its own (v, n), so the
+	// parallel map returns exactly what the nested sequential loops did.
+	type gridPoint struct {
+		v float64
+		n int
+	}
+	var grid []gridPoint
 	for _, v := range []float64{4, 10} {
 		for _, n := range nSweep(opt.Quick) {
-			p := detect.Defaults().WithN(n).WithV(v)
-			ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3, NoNormalize: !normalize})
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.Config{
-				Params: p,
-				Trials: opt.Trials,
-				Seed:   opt.Seed + int64(n) + int64(1000*v),
-			}
-			if model != nil {
-				cfg.Model = model(p)
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, fig9Point{
-				v: v, n: n,
-				analysis: ana.DetectionProb,
-				simP:     res.DetectionProb,
-				ciLo:     res.CI.Lo,
-				ciHi:     res.CI.Hi,
-			})
+			grid = append(grid, gridPoint{v: v, n: n})
 		}
 	}
-	return points, nil
+	return sweep.Map(opt.SweepWorkers, grid, func(_ int, gp gridPoint) (fig9Point, error) {
+		p := detect.Defaults().WithN(gp.n).WithV(gp.v)
+		ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3, NoNormalize: !normalize})
+		if err != nil {
+			return fig9Point{}, err
+		}
+		cfg := sim.Config{
+			Params: p,
+			Trials: opt.Trials,
+			Seed:   opt.Seed + int64(gp.n) + int64(1000*gp.v),
+		}
+		if model != nil {
+			cfg.Model = model(p)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return fig9Point{}, err
+		}
+		return fig9Point{
+			v: gp.v, n: gp.n,
+			analysis: ana.DetectionProb,
+			simP:     res.DetectionProb,
+			ciLo:     res.CI.Lo,
+			ciHi:     res.CI.Hi,
+		}, nil
+	})
 }
 
 func fig9Table(id, title string, points []fig9Point) *Table {

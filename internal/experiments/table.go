@@ -23,6 +23,11 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and trial counts for tests and smoke runs.
 	Quick bool
+	// SweepWorkers bounds how many sweep points run concurrently in the
+	// sweep-based experiments; 0 means GOMAXPROCS. Results are identical
+	// at any setting (each point derives its rng stream from its own
+	// parameters), only wall-clock changes.
+	SweepWorkers int
 }
 
 func (o Options) withDefaults() (Options, error) {

@@ -11,24 +11,44 @@ import (
 // simulator's hot query is "which sensors are within Rs of this period's
 // track segment"; the grid limits the exact distance tests to cells whose
 // bounding boxes intersect the inflated segment.
+//
+// Cell contents live in one flat array (cellIDs, sliced by cellStart) built
+// with a counting pass, so a Rebuild on a recycled Index allocates nothing
+// once its backing arrays have grown to size.
 type Index struct {
 	bounds geom.Rect
 	cell   float64
 	cols   int
 	rows   int
 	points []geom.Point
-	cells  [][]int32 // cells[row*cols+col] lists point indices
+	// cellStart[c]..cellStart[c+1] brackets cell c's ids in cellIDs; ids
+	// are ascending within a cell (the counting pass scans points in
+	// order), matching the append order the per-cell-slice layout had.
+	cellStart []int32
+	cellIDs   []int32
+	cellOf    []int32 // per-point cell, cached between Rebuild's two passes
 }
 
 // NewIndex builds an index over points with the given cell size. Points
 // outside bounds are clamped into the border cells (deployments generated
 // by this package are always inside).
 func NewIndex(points []geom.Point, bounds geom.Rect, cellSize float64) (*Index, error) {
+	idx := &Index{}
+	if err := idx.Rebuild(points, bounds, cellSize); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Rebuild re-indexes the index over a new deployment in place, reusing the
+// existing backing arrays. It leaves the index unchanged on error. Pass a
+// recycled Index through a simulation loop to keep indexing off the heap.
+func (idx *Index) Rebuild(points []geom.Point, bounds geom.Rect, cellSize float64) error {
 	if bounds.Area() <= 0 {
-		return nil, fmt.Errorf("empty bounds %+v: %w", bounds, ErrDeploy)
+		return fmt.Errorf("empty bounds %+v: %w", bounds, ErrDeploy)
 	}
 	if cellSize <= 0 || math.IsNaN(cellSize) {
-		return nil, fmt.Errorf("cell size %v: %w", cellSize, ErrDeploy)
+		return fmt.Errorf("cell size %v: %w", cellSize, ErrDeploy)
 	}
 	w := bounds.MaxX - bounds.MinX
 	h := bounds.MaxY - bounds.MinY
@@ -40,19 +60,48 @@ func NewIndex(points []geom.Point, bounds geom.Rect, cellSize float64) (*Index, 
 	if rows < 1 {
 		rows = 1
 	}
-	idx := &Index{
-		bounds: bounds,
-		cell:   cellSize,
-		cols:   cols,
-		rows:   rows,
-		points: append([]geom.Point(nil), points...),
-		cells:  make([][]int32, cols*rows),
+	idx.bounds = bounds
+	idx.cell = cellSize
+	idx.cols = cols
+	idx.rows = rows
+	idx.points = append(idx.points[:0], points...)
+
+	nCells := cols * rows
+	if cap(idx.cellStart) < nCells+1 {
+		idx.cellStart = make([]int32, nCells+1)
+	} else {
+		idx.cellStart = idx.cellStart[:nCells+1]
+		for i := range idx.cellStart {
+			idx.cellStart[i] = 0
+		}
 	}
+	if cap(idx.cellIDs) < len(points) {
+		idx.cellIDs = make([]int32, len(points))
+		idx.cellOf = make([]int32, len(points))
+	} else {
+		idx.cellIDs = idx.cellIDs[:len(points)]
+		idx.cellOf = idx.cellOf[:len(points)]
+	}
+	// Counting sort: count per cell, prefix-sum into start offsets, then
+	// place ids using cellStart[c] as the fill cursor. After the fill every
+	// cursor sits at its cell's end, i.e. the next cell's start, so one
+	// backward shift restores the offsets.
 	for i, p := range idx.points {
 		c := idx.cellIndex(p)
-		idx.cells[c] = append(idx.cells[c], int32(i))
+		idx.cellOf[i] = int32(c)
+		idx.cellStart[c+1]++
 	}
-	return idx, nil
+	for c := 0; c < nCells; c++ {
+		idx.cellStart[c+1] += idx.cellStart[c]
+	}
+	for i := range idx.points {
+		c := idx.cellOf[i]
+		idx.cellIDs[idx.cellStart[c]] = int32(i)
+		idx.cellStart[c]++
+	}
+	copy(idx.cellStart[1:], idx.cellStart[:nCells]) // memmove does the backward shift
+	idx.cellStart[0] = 0
+	return nil
 }
 
 // Len returns the number of indexed points.
@@ -103,7 +152,8 @@ func (idx *Index) QuerySegment(s geom.Segment, r float64, dst []int) []int {
 	r2 := r * r
 	for row := r0; row <= r1; row++ {
 		for col := c0; col <= c1; col++ {
-			for _, id := range idx.cells[row*idx.cols+col] {
+			c := row*idx.cols + col
+			for _, id := range idx.cellIDs[idx.cellStart[c]:idx.cellStart[c+1]] {
 				if s.Dist2(idx.points[id]) <= r2 {
 					dst = append(dst, int(id))
 				}
@@ -113,8 +163,68 @@ func (idx *Index) QuerySegment(s geom.Segment, r float64, dst []int) []int {
 	return dst
 }
 
+// Pairs appends to dst every unordered pair {i, j} of distinct indexed
+// points within distance r of each other, testing each pair once. Pairs are
+// emitted in lexicographic order of the points' positions in the index's
+// flattened cell-scan order, and each pair is oriented the same way: this
+// is exactly the guarantee a caller needs to rebuild per-point neighbor
+// lists that match a QueryCircle per point (QueryCircle reports neighbors
+// in ascending cell-scan position, and a single in-order sweep over the
+// pair stream appends each point's partners in that same order). The
+// distance predicate is bitwise-identical to QueryCircle's in both
+// orientations, because Dist2 squares the coordinate differences.
+func (idx *Index) Pairs(r float64, dst [][2]int32) [][2]int32 {
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	for a, i := range idx.cellIDs {
+		p := idx.points[i]
+		c0, c1 := idx.colOf(p.X-r), idx.colOf(p.X+r)
+		r0, r1 := idx.rowOf(p.Y-r), idx.rowOf(p.Y+r)
+		for row := r0; row <= r1; row++ {
+			for col := c0; col <= c1; col++ {
+				c := row*idx.cols + col
+				// Positions ascend with cell id, so clamping the cell's
+				// range to positions after a skips whole earlier cells and
+				// the already-tested prefix of i's own cell.
+				b, hi := idx.cellStart[c], idx.cellStart[c+1]
+				if s := int32(a) + 1; b < s {
+					b = s
+				}
+				for ; b < hi; b++ {
+					j := idx.cellIDs[b]
+					if p.Dist2(idx.points[j]) <= r2 {
+						dst = append(dst, [2]int32{i, j})
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // QueryCircle appends to dst the ids of all points within distance r of
-// center and returns the extended slice.
+// center and returns the extended slice. It visits the same cells in the
+// same order as QuerySegment with a degenerate segment and applies the
+// bitwise-identical distance predicate, just without the per-point
+// closest-point-on-segment work.
 func (idx *Index) QueryCircle(center geom.Point, r float64, dst []int) []int {
-	return idx.QuerySegment(geom.Segment{A: center, B: center}, r, dst)
+	if r < 0 {
+		return dst
+	}
+	c0, c1 := idx.colOf(center.X-r), idx.colOf(center.X+r)
+	r0, r1 := idx.rowOf(center.Y-r), idx.rowOf(center.Y+r)
+	r2 := r * r
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			c := row*idx.cols + col
+			for _, id := range idx.cellIDs[idx.cellStart[c]:idx.cellStart[c+1]] {
+				if center.Dist2(idx.points[id]) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"github.com/groupdetect/gbd/internal/matrix"
 	"github.com/groupdetect/gbd/internal/numeric"
@@ -117,8 +118,18 @@ func (c *Chain) Evolve(v []float64, n int) ([]float64, error) {
 	if len(v) != c.States() {
 		return nil, fmt.Errorf("evolve with vector length %d, want %d: %w", len(v), c.States(), ErrChain)
 	}
-	// Stepping costs n*z^2; squaring costs log2(n)*z^3. Pick the cheaper.
-	if n <= 2*bitsLen(n)*c.States() {
+	// Stepping n times costs n*z^2 scalar multiplications. Binary
+	// exponentiation costs one z^3 matrix product per squaring
+	// (bits.Len(n)-1 of them) plus one per extra set bit of n
+	// (bits.OnesCount(n)-1), and a final z^2 vector product — so the exact
+	// crossover is n <= muls*z, not the 2*log2(n)*z the previous heuristic
+	// used (that overestimated the matrix path's cost for sparse-bit n,
+	// e.g. powers of two, and stepped up to twice longer than optimal).
+	muls := bits.Len(uint(n)) - 1 + bits.OnesCount(uint(n)) - 1
+	if muls < 1 {
+		muls = 1 // n <= 1 never pays for an explicit power
+	}
+	if n <= muls*c.States() {
 		out := append([]float64(nil), v...)
 		var err error
 		for i := 0; i < n; i++ {
@@ -134,18 +145,6 @@ func (c *Chain) Evolve(v []float64, n int) ([]float64, error) {
 		return nil, err
 	}
 	return matrix.VecMul(v, p)
-}
-
-func bitsLen(n int) int {
-	b := 0
-	for n > 0 {
-		b++
-		n >>= 1
-	}
-	if b == 0 {
-		b = 1
-	}
-	return b
 }
 
 // Compose returns the chain whose single step applies c then d (the matrix

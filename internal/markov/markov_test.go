@@ -340,3 +340,39 @@ func TestHittingTimeValidation(t *testing.T) {
 		t.Error("sub-stochastic chain should fail")
 	}
 }
+
+// TestEvolveCrossoverAgreement pins the step-vs-squaring dispatch: for
+// step counts bracketing the exact crossover n = muls*z (muls =
+// bits.Len(n)-1 + OnesCount(n)-1), both evaluation strategies must agree
+// to 1e-12 on every state, so whichever Evolve picks is invisible to
+// callers. Counts include powers of two (fewest matrix products, the case
+// the old 2*log2(n)*z heuristic priced worst) and dense-bit counts.
+func TestEvolveCrossoverAgreement(t *testing.T) {
+	inc := []float64{0.5, 0.3, 0.15}
+	const size = 12
+	c, err := ShiftKernel(inc, size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := make([]float64, size)
+	v0[0] = 1
+	for _, n := range []int{1, 2, 3, 7, 12, 13, 16, 31, 32, 33, 63, 64, 96, 127, 128, 255, 256} {
+		got, err := c.Evolve(v0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: explicit stepping, the paper-literal evaluation.
+		want := append([]float64(nil), v0...)
+		for i := 0; i < n; i++ {
+			want, err = c.Step(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range want {
+			if diff := math.Abs(got[i] - want[i]); diff > 1e-12 {
+				t.Fatalf("n=%d state %d: evolve %v, stepped %v (diff %g)", n, i, got[i], want[i], diff)
+			}
+		}
+	}
+}

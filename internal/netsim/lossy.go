@@ -174,45 +174,15 @@ func (n *Network) Route(src, dst int) (path []int, rerouted bool, err error) {
 // with bounded exponential-backoff retransmission, classified against the
 // latency budget. An unreachable base loses the report rather than failing
 // the call — partitions are an expected failure mode, not a usage error.
+// Routes come from a per-base table built on first use, so repeated sends
+// to the same base cost O(route length), not a graph walk each.
 func (n *Network) Send(src, base int, m LossModel, rng *rand.Rand) (Delivery, error) {
 	if err := n.checkIDs(src, base); err != nil {
 		return Delivery{}, err
 	}
-	if err := m.Validate(); err != nil {
-		return Delivery{}, err
-	}
-	if src == base {
-		return Delivery{Outcome: Delivered}, nil
-	}
-	path, rerouted, err := n.Route(src, base)
+	r, err := n.routing(base)
 	if err != nil {
-		if errors.Is(err, ErrUnreachable) {
-			return Delivery{Outcome: Lost, Rerouted: rerouted}, nil
-		}
 		return Delivery{}, err
 	}
-	d := Delivery{Hops: len(path) - 1, Rerouted: rerouted}
-	for hop := 0; hop < d.Hops; hop++ {
-		sent := false
-		for attempt := 0; attempt <= m.MaxRetries; attempt++ {
-			if attempt > 0 {
-				d.Latency += m.Backoff << (attempt - 1)
-			}
-			d.Attempts++
-			d.Latency += m.PerHop
-			if rng.Float64() < m.PerHopDelivery {
-				sent = true
-				break
-			}
-		}
-		if !sent {
-			d.Outcome = Lost
-			return d, nil
-		}
-	}
-	d.Outcome = Delivered
-	if d.Latency > m.Budget {
-		d.Outcome = Late
-	}
-	return d, nil
+	return r.Send(src, m, rng)
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/groupdetect/gbd/internal/field"
@@ -31,9 +32,12 @@ var ErrGreedyStuck = errors.New("netsim: greedy forwarding stuck in local minimu
 type Network struct {
 	nodes     []geom.Point
 	commRange float64
-	adj       [][]int32
-	comp      []int // connected component id per node
+	adj       [][]int32 // per-node views into one shared backing array
+	comp      []int     // connected component id per node
 	nComp     int
+
+	mu     sync.Mutex
+	routes map[int]*Routing // lazily built all-alive tables, keyed by base
 }
 
 // New builds the unit-disk graph: nodes are adjacent when within commRange
@@ -49,24 +53,65 @@ func New(nodes []geom.Point, commRange float64, bounds geom.Rect) (*Network, err
 	n := &Network{
 		nodes:     append([]geom.Point(nil), nodes...),
 		commRange: commRange,
-		adj:       make([][]int32, len(nodes)),
 	}
-	idx, err := field.NewIndex(n.nodes, bounds, commRange)
-	if err != nil {
+	sc := buildPool.Get().(*buildScratch)
+	defer buildPool.Put(sc)
+	if err := sc.idx.Rebuild(n.nodes, bounds, commRange); err != nil {
 		return nil, err
 	}
-	buf := make([]int, 0, 32)
-	for i, p := range n.nodes {
-		buf = idx.QueryCircle(p, commRange, buf[:0])
-		for _, j := range buf {
-			if j != i {
-				n.adj[i] = append(n.adj[i], int32(j))
-			}
+	// Enumerate each within-range pair once; the stream's ordering
+	// guarantee (see field.Index.Pairs) means one in-order sweep fills
+	// every node's neighbor list in exactly the order a QueryCircle per
+	// node produced, at half the distance tests.
+	pairs := sc.idx.Pairs(commRange, sc.pairs[:0])
+	sc.pairs = pairs
+	nn := len(n.nodes)
+	if cap(sc.starts) < nn+1 {
+		sc.starts = make([]int32, nn+1)
+	} else {
+		sc.starts = sc.starts[:nn+1]
+		for i := range sc.starts {
+			sc.starts[i] = 0
 		}
+	}
+	starts := sc.starts
+	for _, e := range pairs {
+		starts[e[0]+1]++
+		starts[e[1]+1]++
+	}
+	for i := 0; i < nn; i++ {
+		starts[i+1] += starts[i]
+	}
+	// Neighbor lists share one exactly-sized backing array; starts[i] is
+	// node i's fill cursor and ends at node i's list end.
+	backing := make([]int32, starts[nn])
+	for _, e := range pairs {
+		backing[starts[e[0]]] = e[1]
+		starts[e[0]]++
+		backing[starts[e[1]]] = e[0]
+		starts[e[1]]++
+	}
+	n.adj = make([][]int32, nn)
+	lo := int32(0)
+	for i := 0; i < nn; i++ {
+		hi := starts[i]
+		n.adj[i] = backing[lo:hi:hi]
+		lo = hi
 	}
 	n.computeComponents()
 	return n, nil
 }
+
+// buildScratch recycles New's transient state — the spatial index and the
+// pair stream — across network constructions, keeping per-trial graph
+// builds off the heap.
+type buildScratch struct {
+	idx    field.Index
+	pairs  [][2]int32
+	starts []int32
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
 
 func (n *Network) computeComponents() {
 	n.comp = make([]int, len(n.nodes))

@@ -1,0 +1,231 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ghopsUnknown marks a greedy walk length not yet memoized; -1 marks a walk
+// that hits a local minimum before the base.
+const ghopsUnknown = -2
+
+// Routing is a precomputed forwarding table from every node toward one base
+// station over an optional alive mask: the BFS shortest-path tree (GPSR
+// perimeter-repair stand-in) plus the greedy geographic next hop per node.
+// Send consults the table instead of re-walking the graph per report, so
+// delivery cost is O(route length) after one O(nodes + edges) Reset per
+// (deployment, alive-mask) epoch.
+//
+// The table reproduces Network.Send on the alive-induced subgraph draw for
+// draw: the loss model consumes randomness only per hop attempted, greedy
+// forwarding picks the strict-argmin neighbor in adjacency order (which an
+// alive filter preserves), and BFS hop counts are unique, so the routed hop
+// count — the only routing output the loss loop reads — is identical.
+type Routing struct {
+	mu    sync.Mutex
+	net   *Network
+	base  int
+	hops   []int32   // BFS hop count to base over alive nodes; -1 unreachable
+	next   []int32   // greedy next hop strictly closer to base; -1 at a local minimum
+	ghops  []int32   // memoized greedy walk length; -1 stuck, ghopsUnknown unvisited
+	walk   []int32   // scratch for greedy memoization
+	queue  []int32   // scratch for BFS
+	d2goal []float64 // squared node-to-base distances, shared by the argmin pass
+}
+
+// NewRouting builds the forwarding table toward base over the nodes with
+// alive[i] true (nil means every node is alive). The base must be alive.
+func (n *Network) NewRouting(base int, alive []bool) (*Routing, error) {
+	if err := n.checkIDs(base); err != nil {
+		return nil, err
+	}
+	r := &Routing{
+		net:    n,
+		base:   base,
+		hops:   make([]int32, len(n.nodes)),
+		next:   make([]int32, len(n.nodes)),
+		ghops:  make([]int32, len(n.nodes)),
+		queue:  make([]int32, 0, len(n.nodes)),
+		d2goal: make([]float64, len(n.nodes)),
+	}
+	if err := r.Reset(alive); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Base returns the base-station node id the table routes toward.
+func (r *Routing) Base() int { return r.base }
+
+// Hops returns the shortest alive-path hop count from src to the base, or
+// -1 when src is unreachable.
+func (r *Routing) Hops(src int) (int, error) {
+	if err := r.net.checkIDs(src); err != nil {
+		return 0, err
+	}
+	return int(r.hops[src]), nil
+}
+
+// Reset recomputes the table for a new alive mask (nil means every node is
+// alive), reusing the table's storage. This is the only cache invalidation:
+// call it exactly when the mask epoch changes.
+func (r *Routing) Reset(alive []bool) error {
+	n := r.net
+	if alive != nil {
+		if len(alive) != len(n.nodes) {
+			return fmt.Errorf("alive mask length %d, want %d: %w", len(alive), len(n.nodes), ErrNetwork)
+		}
+		if !alive[r.base] {
+			return fmt.Errorf("base station %d is dead in the alive mask: %w", r.base, ErrNetwork)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.hops {
+		r.hops[i] = -1
+	}
+	r.hops[r.base] = 0
+	q := append(r.queue[:0], int32(r.base))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, v := range n.adj[u] {
+			if r.hops[v] >= 0 || (alive != nil && !alive[v]) {
+				continue
+			}
+			r.hops[v] = r.hops[u] + 1
+			q = append(q, v)
+		}
+	}
+	r.queue = q[:0]
+	goal := n.nodes[r.base]
+	for i := range n.nodes {
+		r.d2goal[i] = n.nodes[i].Dist2(goal)
+	}
+	for i := range n.nodes {
+		r.next[i] = -1
+		r.ghops[i] = ghopsUnknown
+		if i == r.base {
+			r.ghops[i] = 0
+			continue
+		}
+		if alive != nil && !alive[i] {
+			r.ghops[i] = -1
+			continue
+		}
+		best := int32(-1)
+		bestD := r.d2goal[i]
+		for _, v := range n.adj[i] {
+			if alive != nil && !alive[v] {
+				continue
+			}
+			if d := r.d2goal[v]; d < bestD {
+				bestD = d
+				best = v
+			}
+		}
+		r.next[i] = best
+	}
+	return nil
+}
+
+// greedyHopsLocked returns the greedy-forwarding walk length from src to
+// the base, or -1 when the walk hits a local minimum first. First call per
+// node walks the next-hop chain and memoizes every node on it; the walk
+// cannot cycle because each hop is strictly closer to the base.
+func (r *Routing) greedyHopsLocked(src int32) int32 {
+	if g := r.ghops[src]; g != ghopsUnknown {
+		return g
+	}
+	walk := r.walk[:0]
+	cur := src
+	for r.ghops[cur] == ghopsUnknown && r.next[cur] >= 0 {
+		walk = append(walk, cur)
+		cur = r.next[cur]
+	}
+	g := r.ghops[cur]
+	if g == ghopsUnknown { // next[cur] < 0: the walk is stuck at cur
+		g = -1
+		r.ghops[cur] = -1
+	}
+	for i := len(walk) - 1; i >= 0; i-- {
+		if g >= 0 {
+			g++
+		}
+		r.ghops[walk[i]] = g
+	}
+	r.walk = walk[:0]
+	return r.ghops[src]
+}
+
+// Send forwards one report from src to the table's base under the loss
+// model, exactly like Network.Send on the alive-induced subgraph: greedy
+// route when it succeeds, BFS shortest-path repair when greedy is stuck,
+// Lost when the base is unreachable, then per-hop Bernoulli attempts with
+// bounded exponential-backoff retransmission against the latency budget.
+func (r *Routing) Send(src int, m LossModel, rng *rand.Rand) (Delivery, error) {
+	if err := r.net.checkIDs(src); err != nil {
+		return Delivery{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Delivery{}, err
+	}
+	if src == r.base {
+		return Delivery{Outcome: Delivered}, nil
+	}
+	r.mu.Lock()
+	gh := r.greedyHopsLocked(int32(src))
+	bfs := r.hops[src]
+	r.mu.Unlock()
+	var d Delivery
+	switch {
+	case gh >= 0:
+		d = Delivery{Hops: int(gh)}
+	case bfs < 0:
+		return Delivery{Outcome: Lost, Rerouted: true}, nil
+	default:
+		d = Delivery{Hops: int(bfs), Rerouted: true}
+	}
+	for hop := 0; hop < d.Hops; hop++ {
+		sent := false
+		for attempt := 0; attempt <= m.MaxRetries; attempt++ {
+			if attempt > 0 {
+				d.Latency += m.Backoff << (attempt - 1)
+			}
+			d.Attempts++
+			d.Latency += m.PerHop
+			if rng.Float64() < m.PerHopDelivery {
+				sent = true
+				break
+			}
+		}
+		if !sent {
+			d.Outcome = Lost
+			return d, nil
+		}
+	}
+	d.Outcome = Delivered
+	if d.Latency > m.Budget {
+		d.Outcome = Late
+	}
+	return d, nil
+}
+
+// routing returns the lazily built all-alive forwarding table toward base,
+// shared by every Send to that base on this network.
+func (n *Network) routing(base int) (*Routing, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if r, ok := n.routes[base]; ok {
+		return r, nil
+	}
+	r, err := n.NewRouting(base, nil)
+	if err != nil {
+		return nil, err
+	}
+	if n.routes == nil {
+		n.routes = make(map[int]*Routing, 1)
+	}
+	n.routes[base] = r
+	return r, nil
+}

@@ -1,0 +1,127 @@
+package sim_test
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/sim"
+)
+
+// Worker counts every campaign below must agree across. Each trial owns a
+// stream derived from (Seed, trial), so scheduling cannot change any draw;
+// the only field allowed to wiggle is Faults.MeanAliveFrac, a float sum
+// whose association order follows the worker stripes (a+b+c vs a+(b+c)).
+// Everything else — counts, histograms, probabilities — must match exactly.
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+func requireSameResult(t *testing.T, name string, a, b *sim.Result) {
+	t.Helper()
+	if d := math.Abs(a.Faults.MeanAliveFrac - b.Faults.MeanAliveFrac); d > 1e-12 {
+		t.Errorf("%s: MeanAliveFrac differs by %g across worker counts", name, d)
+	}
+	ca, cb := *a, *b
+	ca.Faults.MeanAliveFrac = 0
+	cb.Faults.MeanAliveFrac = 0
+	if !reflect.DeepEqual(ca, cb) {
+		t.Errorf("%s: results differ across worker counts:\n%+v\n%+v", name, ca, cb)
+	}
+}
+
+func TestRunDeterministicAcrossWorkersPlain(t *testing.T) {
+	base := sim.Config{Params: detect.Defaults(), Trials: 120, Seed: 5}
+	var ref *sim.Result
+	for _, w := range workerCounts() {
+		cfg := base
+		cfg.Workers = w
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		requireSameResult(t, "plain", ref, res)
+	}
+}
+
+func TestRunDeterministicAcrossWorkersFaulty(t *testing.T) {
+	base := sim.Config{
+		Params:    detect.Defaults(),
+		Trials:    80,
+		Seed:      9,
+		Faults:    faults.Bernoulli{DeadFrac: 0.2},
+		CommRange: 6000,
+		Loss: netsim.LossModel{
+			PerHopDelivery: 0.9,
+			MaxRetries:     2,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+		},
+	}
+	var ref *sim.Result
+	for _, w := range workerCounts() {
+		cfg := base
+		cfg.Workers = w
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		requireSameResult(t, "faulty", ref, res)
+	}
+}
+
+func TestRunDeterministicAcrossWorkersMixed(t *testing.T) {
+	p := detect.Defaults()
+	classes := []detect.SensorClass{
+		{Count: 80, Rs: p.Rs, Pd: p.Pd},
+		{Count: 40, Rs: p.Rs * 1.5, Pd: 0.7},
+	}
+	base := sim.Config{Params: p, Trials: 40, Seed: 13}
+	var ref *sim.Result
+	for _, w := range workerCounts() {
+		cfg := base
+		cfg.Workers = w
+		res, err := sim.RunMixed(cfg, classes)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		requireSameResult(t, "mixed", ref, res)
+	}
+}
+
+func TestRunDeterministicAcrossWorkersMulti(t *testing.T) {
+	base := sim.Config{Params: detect.Defaults(), Trials: 40, Seed: 21}
+	var ref *sim.MultiResult
+	for _, w := range workerCounts() {
+		cfg := base
+		cfg.Workers = w
+		res, err := sim.RunMulti(cfg, 2, 2000)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("multi: results differ across worker counts:\n%+v\n%+v", ref, res)
+		}
+	}
+}

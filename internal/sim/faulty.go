@@ -22,17 +22,20 @@ import (
 // independent of worker scheduling.
 func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
 	p := cfg.Params
-	rng := field.NewRand(field.DeriveSeed(cfg.Seed, int64(trial)))
+	scratch := scratchPool.Get().(*trialScratch)
+	defer scratchPool.Put(scratch)
+	rng := scratch.seed(field.DeriveSeed(cfg.Seed, int64(trial)))
 	bounds := geom.Square(p.FieldSide)
 
-	sensors, err := field.Uniform(p.N, bounds, rng)
+	sensors, err := field.UniformInto(scratch.sensors, p.N, bounds, rng)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := field.NewIndex(sensors, bounds, indexCellSize(p))
-	if err != nil {
+	scratch.sensors = sensors
+	if err := scratch.idx.Rebuild(sensors, bounds, indexCellSize(p)); err != nil {
 		return nil, err
 	}
+	idx := &scratch.idx
 	disk, err := sensing.NewDisk(p.Rs, p.Pd)
 	if err != nil {
 		return nil, err
@@ -87,13 +90,15 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 	}
 
 	tr := &TrialResult{}
+	var reported map[int]bool
 	if detailed {
 		tr.Track = track
-		tr.Sensors = sensors
+		tr.Sensors = append([]geom.Point(nil), sensors...) // sensors is pooled scratch
 		tr.PerPeriod = make([]int, mission)
+		reported = make(map[int]bool)
 	}
-	arrivals := make([]int, mission+1) // 1-based arrival period at the base
-	reported := make(map[int]bool)
+	arrivals := ints(scratch.perPeriod, mission+1) // 1-based arrival period at the base
+	scratch.perPeriod = arrivals
 	aliveFracSum := 0.0
 
 	// deliver routes one report generated in period through the network
@@ -139,7 +144,7 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 		return nil
 	}
 
-	buf := make([]int, 0, 16)
+	buf := scratch.buf
 	for period := 1; period <= mission; period++ {
 		var mask []bool
 		if masks != nil {
@@ -180,6 +185,7 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 			}
 		}
 	}
+	scratch.buf = buf
 	tr.Faults.MeanAliveFrac = aliveFracSum / float64(mission)
 
 	// The base evaluates the K-of-M sliding window on what actually
@@ -214,18 +220,19 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 }
 
 // relayState owns the communication network of one trial: the full
-// unit-disk graph, the base station choice, and a cached alive-subset
-// network that is rebuilt only when the alive mask changes.
+// unit-disk graph, the base station choice, and a routing table toward the
+// base that is Reset — not rebuilt — only when the alive mask changes.
+// Routing over the alive mask reproduces what the Subset-and-rebuild path
+// computed, draw for draw (see netsim.Routing), without reconstructing a
+// network per mask epoch.
 type relayState struct {
-	full   *netsim.Network
-	bounds geom.Rect
-	base   int // base station id in the full network
+	full *netsim.Network
+	base int // base station id in the full network
 
-	// Cached alive subgraph for the current mask.
-	mask      []bool
-	sub       *netsim.Network
-	origToSub []int // -1 for dead nodes
-	subBase   int
+	// Cached routing state for the current mask.
+	mask    []bool
+	keep    []bool // mask with the base forced alive
+	routing *netsim.Routing
 }
 
 func newRelayState(sensors []geom.Point, commRange float64, bounds geom.Rect) (*relayState, error) {
@@ -243,7 +250,7 @@ func newRelayState(sensors []geom.Point, commRange float64, bounds geom.Rect) (*
 			base = i
 		}
 	}
-	return &relayState{full: full, bounds: bounds, base: base}, nil
+	return &relayState{full: full, base: base}, nil
 }
 
 // send forwards a report from sensor id to the base over the network
@@ -256,38 +263,31 @@ func (r *relayState) send(id int, mask []bool, loss netsim.LossModel, rng *rand.
 	if err := r.refresh(mask); err != nil {
 		return netsim.Delivery{}, err
 	}
-	src := r.origToSub[id]
-	if src < 0 {
+	if !mask[id] && id != r.base {
 		// Defensive: dead sensors are filtered before sensing, so a report
 		// from one is a bug in the caller.
 		return netsim.Delivery{}, fmt.Errorf("report from dead sensor %d: %w", id, ErrConfig)
 	}
-	return r.sub.Send(src, r.subBase, loss, rng)
+	return r.routing.Send(id, loss, rng)
 }
 
-// refresh rebuilds the alive subgraph when the mask changed.
+// refresh re-aims the routing table when the mask changed.
 func (r *relayState) refresh(mask []bool) error {
 	if r.mask != nil && sameMask(r.mask, mask) {
 		return nil
 	}
-	keep := append([]bool(nil), mask...)
-	keep[r.base] = true // the base station survives
-	sub, origIDs, err := r.full.Subset(keep, r.bounds)
-	if err != nil {
-		return err
-	}
-	origToSub := make([]int, len(mask))
-	for i := range origToSub {
-		origToSub[i] = -1
-	}
-	for subID, orig := range origIDs {
-		origToSub[orig] = subID
-	}
 	r.mask = append(r.mask[:0], mask...)
-	r.sub = sub
-	r.origToSub = origToSub
-	r.subBase = origToSub[r.base]
-	return nil
+	r.keep = append(r.keep[:0], mask...)
+	r.keep[r.base] = true // the base station survives
+	if r.routing == nil {
+		routing, err := r.full.NewRouting(r.base, r.keep)
+		if err != nil {
+			return err
+		}
+		r.routing = routing
+		return nil
+	}
+	return r.routing.Reset(r.keep)
 }
 
 func sameMask(a, b []bool) bool {

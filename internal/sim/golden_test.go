@@ -1,0 +1,163 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/sim"
+)
+
+// The golden values below were captured from the pre-optimization trial
+// loop (PR 1). The throughput overhaul (scratch arenas, routing-table
+// caching, flat adjacency) must not change a single random draw, so every
+// campaign here has to reproduce its golden numbers exactly — not within a
+// tolerance.
+
+func exactf(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+		t.Errorf("%s = %.17g, want exactly %.17g", name, got, want)
+	}
+}
+
+func exacti(t *testing.T, name string, got, want int) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s = %d, want exactly %d", name, got, want)
+	}
+}
+
+func TestGoldenFaultyCampaign(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		Params:    detect.Defaults(),
+		Trials:    300,
+		Seed:      42,
+		Workers:   3,
+		Faults:    faults.Bernoulli{DeadFrac: 0.2},
+		CommRange: 6000,
+		Loss: netsim.LossModel{
+			PerHopDelivery: 0.9,
+			MaxRetries:     2,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exacti(t, "Detections", res.Detections, 214)
+	exactf(t, "DetectionProb", res.DetectionProb, 0.71333333333333337)
+	exacti(t, "Generated", res.Faults.Generated, 2275)
+	exacti(t, "Delivered", res.Faults.Delivered, 2168)
+	exacti(t, "Late", res.Faults.Late, 99)
+	exacti(t, "Lost", res.Faults.Lost, 8)
+	exacti(t, "Rerouted", res.Faults.Rerouted, 110)
+	exactf(t, "MeanAliveFrac", res.Faults.MeanAliveFrac, 0.8007777777777777)
+	exactf(t, "MeanReports", res.MeanReports, 7.5566666666666666)
+}
+
+func TestGoldenLifetimeCampaign(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		Params:  detect.Defaults(),
+		Trials:  300,
+		Seed:    7,
+		Workers: 2,
+		Faults:  faults.Lifetime{Hazard: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exacti(t, "Detections", res.Detections, 197)
+	exacti(t, "Generated", res.Faults.Generated, 2133)
+	exactf(t, "MeanAliveFrac", res.Faults.MeanAliveFrac, 0.812923611111111)
+	exactf(t, "MeanReports", res.MeanReports, 7.1100000000000003)
+}
+
+func TestGoldenLossyCampaign(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		Params:    detect.Defaults(),
+		Trials:    300,
+		Seed:      11,
+		Workers:   4,
+		CommRange: 6000,
+		Loss: netsim.LossModel{
+			PerHopDelivery: 0.8,
+			MaxRetries:     1,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exacti(t, "Detections", res.Detections, 212)
+	exacti(t, "Generated", res.Faults.Generated, 2747)
+	exacti(t, "Delivered", res.Faults.Delivered, 2439)
+	exacti(t, "Late", res.Faults.Late, 58)
+	exacti(t, "Lost", res.Faults.Lost, 250)
+	exacti(t, "Rerouted", res.Faults.Rerouted, 102)
+	exactf(t, "MeanReports", res.MeanReports, 8.3233333333333341)
+}
+
+func TestGoldenPlainCampaign(t *testing.T) {
+	res, err := sim.Run(sim.Config{Params: detect.Defaults(), Trials: 400, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exacti(t, "Detections", res.Detections, 293)
+	exactf(t, "MeanReports", res.MeanReports, 8.6974999999999998)
+	exactf(t, "Latency.Mean", res.Latency.Mean(), 10.279863481228668)
+}
+
+func TestGoldenDetailedFaultyTrial(t *testing.T) {
+	tr, err := sim.RunTrial(sim.Config{
+		Params:    detect.Defaults(),
+		Trials:    300,
+		Seed:      42,
+		Workers:   3,
+		Faults:    faults.Bernoulli{DeadFrac: 0.2},
+		CommRange: 6000,
+		Loss: netsim.LossModel{
+			PerHopDelivery: 0.9,
+			MaxRetries:     2,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+		},
+	}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Detected {
+		t.Error("trial 17 should detect")
+	}
+	exacti(t, "DetectedAt", tr.DetectedAt, 8)
+	exacti(t, "Reports", tr.Reports, 6)
+	exacti(t, "Generated", tr.Faults.Generated, 6)
+	exacti(t, "Delivered", tr.Faults.Delivered, 4)
+	exacti(t, "Late", tr.Faults.Late, 2)
+	exacti(t, "Lost", tr.Faults.Lost, 0)
+	exacti(t, "Rerouted", tr.Faults.Rerouted, 6)
+	exacti(t, "len(Reporters)", len(tr.Reporters), 2)
+}
+
+// TestGoldenAnalysis pins the M-S-approach outputs that the stage-PMF
+// memoization must preserve bit for bit.
+func TestGoldenAnalysis(t *testing.T) {
+	p := detect.Defaults()
+	a1, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactf(t, "p1.DetectionProb", a1.DetectionProb, 0.78138519369057979)
+	exactf(t, "p1.Mass", a1.Mass, 0.99794066216380073)
+	a2, err := detect.MSApproach(p.WithN(240).WithV(4), detect.MSOptions{Gh: 6, G: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactf(t, "p2.DetectionProb", a2.DetectionProb, 0.87351290416808747)
+	exactf(t, "p2.RawTail", a2.RawTail, 0.87338945503962007)
+}

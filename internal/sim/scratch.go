@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/geom"
+)
+
+// trialScratch is the per-worker arena of the trial hot path: everything a
+// trial needs that would otherwise be reallocated per trial — the RNG, the
+// deployment, the spatial index, the period counters, and the query
+// buffer. Workers check one out per trial from scratchPool, so the storage
+// survives across trials (and across Run calls, which benchmark loops
+// rely on) without any cross-worker sharing.
+//
+// Nothing in a scratch may escape into results: detailed trials copy the
+// deployment out before the scratch returns to the pool.
+type trialScratch struct {
+	rng       *rand.Rand
+	sensors   []geom.Point
+	idx       field.Index
+	perPeriod []int // plain path's window counts / faulty path's arrivals
+	buf       []int // spatial-query result buffer
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &trialScratch{rng: field.NewRand(0), buf: make([]int, 0, 16)}
+	},
+}
+
+// seed points the scratch RNG at one trial's stream. Reseeding the pooled
+// generator yields the same draws as field.NewRand(seed) without reheaping
+// the generator state.
+func (s *trialScratch) seed(seed int64) *rand.Rand {
+	s.rng.Seed(seed)
+	return s.rng
+}
+
+// ints returns s resized to n and zeroed, reusing the backing array when it
+// is large enough.
+func ints(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -236,52 +236,64 @@ type TrialResult struct {
 	Faults FaultStats
 }
 
+// partial is one worker's share of a campaign's aggregation.
+type partial struct {
+	detections int
+	hist       stats.Histogram
+	latency    stats.Histogram
+	faults     FaultStats
+	err        error
+}
+
+// runWorker aggregates the trials of worker w's stripe into p.
+func runWorker(cfg Config, w, workers int, p *partial) {
+	for trial := w; trial < cfg.Trials; trial += workers {
+		tr, err := runTrial(cfg, trial, false)
+		if err != nil {
+			p.err = err
+			return
+		}
+		if tr.Detected {
+			p.detections++
+			if err := p.latency.Add(tr.DetectedAt); err != nil {
+				p.err = err
+				return
+			}
+		}
+		if err := p.hist.Add(tr.Reports); err != nil {
+			p.err = err
+			return
+		}
+		p.faults.merge(tr.Faults)
+	}
+}
+
 // Run executes the campaign and aggregates the results.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	type partial struct {
-		detections int
-		hist       stats.Histogram
-		latency    stats.Histogram
-		faults     FaultStats
-		err        error
-	}
 	workers := cfg.Workers
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
 	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			p := &parts[w]
-			for trial := w; trial < cfg.Trials; trial += workers {
-				tr, err := runTrial(cfg, trial, false)
-				if err != nil {
-					p.err = err
-					return
-				}
-				if tr.Detected {
-					p.detections++
-					if err := p.latency.Add(tr.DetectedAt); err != nil {
-						p.err = err
-						return
-					}
-				}
-				if err := p.hist.Add(tr.Reports); err != nil {
-					p.err = err
-					return
-				}
-				p.faults.merge(tr.Faults)
-			}
-		}(w)
+	if workers == 1 {
+		// Run the single stripe inline: no goroutine hand-off per call in
+		// the common benchmark and sweep-under-sweep shapes.
+		runWorker(cfg, 0, 1, &parts[0])
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				runWorker(cfg, w, workers, &parts[w])
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	res := &Result{Trials: cfg.Trials}
 	for i := range parts {
@@ -322,17 +334,20 @@ func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
 		return runFaultyTrial(cfg, trial, detailed)
 	}
 	p := cfg.Params
-	rng := field.NewRand(field.DeriveSeed(cfg.Seed, int64(trial)))
+	scratch := scratchPool.Get().(*trialScratch)
+	defer scratchPool.Put(scratch)
+	rng := scratch.seed(field.DeriveSeed(cfg.Seed, int64(trial)))
 	bounds := geom.Square(p.FieldSide)
 
-	sensors, err := field.Uniform(p.N, bounds, rng)
+	sensors, err := field.UniformInto(scratch.sensors, p.N, bounds, rng)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := field.NewIndex(sensors, bounds, indexCellSize(p))
-	if err != nil {
+	scratch.sensors = sensors
+	if err := scratch.idx.Rebuild(sensors, bounds, indexCellSize(p)); err != nil {
 		return nil, err
 	}
+	idx := &scratch.idx
 	disk, err := sensing.NewDisk(p.Rs, p.Pd)
 	if err != nil {
 		return nil, err
@@ -356,14 +371,16 @@ func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
 
 	mission := cfg.MissionPeriods
 	tr := &TrialResult{}
+	var reported map[int]bool
 	if detailed {
 		tr.Track = track
-		tr.Sensors = sensors
+		tr.Sensors = append([]geom.Point(nil), sensors...) // sensors is pooled scratch
 		tr.PerPeriod = make([]int, mission)
+		reported = make(map[int]bool)
 	}
-	perPeriod := make([]int, mission+1) // 1-based
-	reported := make(map[int]bool)
-	buf := make([]int, 0, 16)
+	perPeriod := ints(scratch.perPeriod, mission+1) // 1-based
+	scratch.perPeriod = perPeriod
+	buf := scratch.buf
 	for period := 1; period <= mission; period++ {
 		seg := geom.Segment{A: track[period-1], B: track[period]}
 		count := 0
@@ -413,6 +430,7 @@ func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
 			}
 		}
 	}
+	scratch.buf = buf
 	tr.Detected = tr.DetectedAt > 0
 	if detailed {
 		tr.Reporters = make([]int, 0, len(reported))

@@ -1,0 +1,77 @@
+// Package sweep provides a deterministic parallel map for parameter
+// sweeps: every sweep point runs independently on a bounded worker pool,
+// but results come back in input order and the reported error is the one
+// the equivalent sequential loop would have hit first. Experiment runners
+// use it to fan sweep points out across cores without giving up
+// reproducible tables (each point already derives its own rng stream from
+// its parameters, so execution order cannot leak into any result).
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map applies fn to every item with at most workers concurrent calls and
+// returns the results in input order. workers <= 0 means GOMAXPROCS, and a
+// single worker degenerates to an inline sequential loop.
+//
+// fn receives the item's index and value. If any call fails, Map returns
+// the error of the lowest-indexed failing item — exactly what a sequential
+// loop would have returned — and no partial results. Items after a failure
+// that have not started yet are skipped; every item at a lower index than
+// a failure has already been dispatched, so the lowest-index selection
+// never misses an earlier error.
+func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || failed.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdersResults checks output order matches input order no matter
+// how the scheduler interleaves the workers.
+func TestMapOrdersResults(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 16, 64} {
+		got, err := Map(workers, items, func(i, v int) (string, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // perturb completion order
+			}
+			return fmt.Sprintf("%d^2=%d", v, v*v), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range items {
+			want := fmt.Sprintf("%d^2=%d", v, v*v)
+			if got[i] != want {
+				t.Fatalf("workers=%d: result %d = %q, want %q", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestMapReturnsLowestIndexError checks the sequential-equivalent error
+// contract: with several failing items, the reported error is the first
+// one a plain loop would have hit.
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	wantErr := errors.New("boom 3")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, items, func(i, v int) (int, error) {
+			switch i {
+			case 3:
+				return 0, wantErr
+			case 5:
+				return 0, errors.New("boom 5")
+			}
+			return v, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if workers == 1 && err != wantErr {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, wantErr)
+		}
+		// Parallel runs may skip item 3 only if it failed after 5 started;
+		// dispatch order guarantees item 3 was dispatched before item 5,
+		// so its error must win.
+		if err.Error() != wantErr.Error() && err.Error() != "boom 5" {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if workers == 4 && err != wantErr {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, wantErr)
+		}
+	}
+}
+
+// TestMapSkipsAfterFailure checks not-yet-started items are skipped once a
+// failure is recorded (bounded work on error).
+func TestMapSkipsAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	_, err := Map(2, items, func(i, v int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("%d items ran after an index-0 failure; expected early exit", n)
+	}
+}
+
+// TestMapEmptyAndBounds covers the degenerate inputs.
+func TestMapEmptyAndBounds(t *testing.T) {
+	got, err := Map(4, nil, func(i, v int) (int, error) { return v, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+	got, err = Map(100, []int{7}, func(i, v int) (int, error) { return v * 2, nil })
+	if err != nil || len(got) != 1 || got[0] != 14 {
+		t.Fatalf("single item: got %v, %v", got, err)
+	}
+}
+
+// TestMapConcurrencyBounded checks the pool never runs more than the
+// requested number of calls at once.
+func TestMapConcurrencyBounded(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8) // allow real overlap even on 1-core CI
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	items := make([]int, 60)
+	_, err := Map(workers, items, func(i, v int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		inFlight.Add(-1)
+		return v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
