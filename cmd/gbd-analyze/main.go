@@ -20,6 +20,7 @@ import (
 	"time"
 
 	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/scenario"
 )
 
@@ -30,7 +31,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gbd-analyze", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 120, "number of sensors")
@@ -51,9 +52,19 @@ func run(args []string) error {
 		config  = fs.String("config", "", "load the scenario from a JSON file (other scenario flags are ignored)")
 		saveCfg = fs.String("save-config", "", "write the scenario to a JSON file and continue")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start("gbd-analyze", args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	p := gbd.Params{
 		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
 		Pd: *pd, M: *m, K: *k,
@@ -68,6 +79,7 @@ func run(args []string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	sess.SetParams(p)
 	if *saveCfg != "" {
 		if err := scenario.Save(*saveCfg, p); err != nil {
 			return err

@@ -15,6 +15,7 @@ func TestRunMethods(t *testing.T) {
 		{"-n", "60", "-raw", "-verbose"},
 		{"-n", "60", "-h-nodes", "2"},
 		{"-n", "60", "-v", "4"},
+		{"-n", "60", "-m", "2"}, // M <= ms: small-window evaluator
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -27,7 +28,7 @@ func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-n", "-5"},         // invalid params
 		{"-method", "bogus"}, // unknown method
-		{"-m", "2"},          // M <= ms
+		{"-m", "2", "-method", "s", "-g", "4"}, // S-approach needs M > ms
 		{"-accuracy", "1.5"}, // invalid accuracy target
 		{"-badflag"},         // flag parse error
 	}

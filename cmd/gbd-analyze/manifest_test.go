@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+func TestMetricsManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "manifest.json")
+	prefix := filepath.Join(dir, "profile")
+	traceOut := filepath.Join(dir, "run.trace")
+	args := []string{"-n", "60",
+		"-metrics-out", manifest, "-pprof", prefix, "-trace", traceOut}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Error(err)
+	}
+	for _, p := range []string{prefix + ".cpu.pprof", prefix + ".heap.pprof", traceOut} {
+		if fi, err := os.Stat(p); err != nil {
+			t.Errorf("missing profile artifact %s: %v", p, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile artifact %s is empty", p)
+		}
+	}
+}
+
+func TestMetricsManifestUnwritable(t *testing.T) {
+	if err := run([]string{"-n", "60", "-metrics-out", filepath.Join(t.TempDir(), "no", "dir", "m.json")}); err == nil {
+		t.Error("unwritable -metrics-out should fail")
+	}
+}

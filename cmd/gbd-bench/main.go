@@ -1,13 +1,14 @@
 // Command gbd-bench runs the hot-path benchmarks in-process via
 // testing.Benchmark and emits a machine-readable JSON report, so CI and
-// the committed BENCH_PR2.json snapshot use the same measurement path as
-// `go test -bench`. The benchmark bodies mirror bench_test.go exactly;
-// this command exists because test binaries cannot be imported, while the
-// tracked snapshot must be regenerable with one command.
+// the committed BENCH_*.json snapshots (BENCH_PR2.json, BENCH_PR3.json)
+// use the same measurement path as `go test -bench`. The benchmark bodies
+// mirror bench_test.go exactly; this command exists because test binaries
+// cannot be imported, while the tracked snapshots must be regenerable with
+// one command.
 //
 // Usage:
 //
-//	gbd-bench [-out BENCH_PR2.json]
+//	gbd-bench [-out BENCH_PR3.json]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/sim"
 )
 
@@ -54,14 +57,28 @@ var benchmarks = []struct {
 	{"CommCheck", benchCommCheck},
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gbd-bench", flag.ContinueOnError)
 	out := fs.String("out", "", "write the JSON report to this file instead of stdout")
+	match := fs.String("bench", "", "run only benchmarks whose name contains this substring")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start("gbd-bench", args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	var results []Result
 	for _, bm := range benchmarks {
+		if *match != "" && !strings.Contains(bm.name, *match) {
+			continue
+		}
 		r := testing.Benchmark(bm.fn)
 		results = append(results, Result{
 			Name:        bm.name,
@@ -71,6 +88,9 @@ func run(args []string) error {
 		})
 		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d allocs/op (%d iterations)\n",
 			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.N)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark name contains %q", *match)
 	}
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+func TestRunFilteredReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	manifest := filepath.Join(dir, "manifest.json")
+	args := []string{"-bench", "LossyDelivery", "-out", out, "-metrics-out", manifest}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "LossyDelivery" {
+		t.Errorf("results = %+v, want exactly LossyDelivery", results)
+	}
+	if results[0].NsPerOp <= 0 || results[0].Iterations <= 0 {
+		t.Errorf("implausible measurement: %+v", results[0])
+	}
+	mdata, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(mdata); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bench", "NoSuchBenchmark"}); err == nil {
+		t.Error("unmatched -bench filter should fail")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/obs"
 )
 
 func main() {
@@ -33,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gbd-design", flag.ContinueOnError)
 	var (
 		side      = fs.Float64("side", 32000, "field side length (m)")
@@ -51,9 +52,20 @@ func run(args []string) error {
 		perHop    = fs.Duration("hop", 10*time.Second, "per-hop forwarding latency")
 		seed      = fs.Int64("seed", 1, "random seed for deployment audits")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start("gbd-design", args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	sess.SetSeed(*seed)
 
 	p := gbd.Params{
 		N: 1, FieldSide: *side, Rs: *rs, V: *v, T: *period,
@@ -90,6 +102,7 @@ func run(args []string) error {
 		k = k2
 	}
 	p = p.WithN(n)
+	sess.SetParams(p)
 	fmt.Printf("\nrule:  K = %d of M = %d (false-alarm budget %.2g over %d periods at Pf=%.0e)\n",
 		k, p.M, *budget, *horizon, *fa)
 	fmt.Printf("fleet: N = %d sensors (smallest meeting P[detect] >= %.2f)\n", n, *targetP)

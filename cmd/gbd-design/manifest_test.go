@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+func TestMetricsManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design workflow runs simulations; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := run([]string{"-target", "0.7", "-n-max", "400", "-metrics-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Error(err)
+	}
+}

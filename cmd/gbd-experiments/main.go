@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/groupdetect/gbd/internal/experiments"
+	"github.com/groupdetect/gbd/internal/obs"
 )
 
 func main() {
@@ -48,7 +49,7 @@ var runners = map[string]func(experiments.Options) (*experiments.Table, error){
 	"lossdeg":     experiments.LossDegradation,
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gbd-experiments", flag.ContinueOnError)
 	var (
 		exp    = fs.String("exp", "all", "experiment id (fig8, fig9a, fig9b, fig9c, timing, extension, kmin, boundary, comm, latency, tapproach) or all")
@@ -60,10 +61,22 @@ func run(args []string) error {
 		outDir  = fs.String("out", "", "write per-experiment files into this directory instead of stdout")
 		workers = fs.Int("sweep-workers", 0, "concurrent sweep points per experiment (0 = all cores); output is identical at any setting")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick, SweepWorkers: *workers}
+	sess, err := obsFlags.Start("gbd-experiments", args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	sess.SetParams(opt)
+	sess.SetSeed(*seed)
 
 	var tables []*experiments.Table
 	if *exp == "all" {

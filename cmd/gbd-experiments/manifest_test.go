@@ -1,0 +1,31 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+func TestMetricsManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := run([]string{"-exp", "kmin", "-quick", "-metrics-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Metrics.Counters["experiments.runs"]; n < 1 {
+		t.Errorf("experiments.runs = %d, want >= 1", n)
+	}
+}

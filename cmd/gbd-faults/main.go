@@ -31,6 +31,7 @@ import (
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/sweep"
 )
 
@@ -41,7 +42,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("gbd-faults", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 120, "number of sensors")
@@ -70,13 +71,25 @@ func run(args []string, w io.Writer) error {
 		backoff   = fs.Duration("backoff", 5*time.Second, "base retransmission backoff (doubles per retry)")
 		budget    = fs.Duration("budget", 0, "delivery latency budget (0 = one sensing period)")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start("gbd-faults", args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	p := gbd.Params{
 		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
 		Pd: *pd, M: *m, K: *k,
 	}
+	sess.SetParams(p)
+	sess.SetSeed(*seed)
 	base := gbd.SimConfig{
 		Params:  p,
 		Trials:  *trials,

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+func TestMetricsManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	args := []string{"-trials", "100", "-dead-steps", "2", "-max-dead", "0.2", "-metrics-out", path}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Error(err)
+	}
+}

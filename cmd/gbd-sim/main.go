@@ -20,6 +20,7 @@ import (
 	"time"
 
 	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/scenario"
 	"github.com/groupdetect/gbd/internal/target"
 )
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gbd-sim", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 120, "number of sensors")
@@ -52,9 +53,19 @@ func run(args []string) error {
 		lambda  = fs.Float64("exposure", 0, "dwell-model detection rate 1/s (0 = flat Pd model)")
 		config  = fs.String("config", "", "load the scenario from a JSON file (other scenario flags are ignored)")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start("gbd-sim", args)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	p := gbd.Params{
 		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
 		Pd: *pd, M: *m, K: *k,
@@ -85,6 +96,8 @@ func run(args []string) error {
 	if *walk {
 		cfg.Model = target.RandomWalk{Step: p.Vt(), MaxTurn: *maxTurn * math.Pi / 180}
 	}
+	sess.SetParams(p)
+	sess.SetSeed(*seed)
 
 	start := time.Now()
 	res, err := gbd.Simulate(cfg)

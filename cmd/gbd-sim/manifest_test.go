@@ -1,0 +1,35 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+func TestMetricsManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := run([]string{"-trials", "50", "-n", "60", "-seed", "7", "-metrics-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 7 {
+		t.Errorf("manifest seed = %d, want 7", m.Seed)
+	}
+	// The campaign ran at least its 50 trials, and the snapshot saw them.
+	if n := m.Metrics.Counters["sim.trials"]; n < 50 {
+		t.Errorf("sim.trials = %d, want >= 50", n)
+	}
+}

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/groupdetect/gbd/internal/dist"
@@ -55,38 +56,62 @@ type stageJointEntry struct {
 	jt     []dist.Joint
 }
 
+// smallHeadKey identifies the window-truncated Head stage of the
+// small-window (M <= ms) evaluator. Unlike stageKey, the window length
+// matters here: it caps the coverage span of the head subareas, so each M
+// gets its own entry. g is absent because the truncated head only depends
+// on the head bound gh.
+type smallHeadKey struct {
+	rs, vt, fieldSide, pd float64
+	n, gh, m              int
+}
+
+// smallJointKey adds the reporter-axis size for the extension path.
+type smallJointKey struct {
+	smallHeadKey
+	ys int
+}
+
 // stageCacheLimit bounds each memo map. At the limit a map is dropped
 // wholesale: sweeps revisit keys in clusters, so an occasional cold
 // restart beats eviction bookkeeping.
 const stageCacheLimit = 256
 
 var stageCache = struct {
-	mu     sync.Mutex
-	areas  map[areaKey]*stageAreas
-	pmfs   map[stageKey]*stagePMFEntry
-	joints map[jointKey]*stageJointEntry
+	mu          sync.Mutex
+	areas       map[areaKey]*stageAreas
+	pmfs        map[stageKey]*stagePMFEntry
+	joints      map[jointKey]*stageJointEntry
+	smallHeads  map[smallHeadKey]dist.PMF
+	smallJoints map[smallJointKey]dist.Joint
 }{
-	areas:  make(map[areaKey]*stageAreas),
-	pmfs:   make(map[stageKey]*stagePMFEntry),
-	joints: make(map[jointKey]*stageJointEntry),
+	areas:       make(map[areaKey]*stageAreas),
+	pmfs:        make(map[stageKey]*stagePMFEntry),
+	joints:      make(map[jointKey]*stageJointEntry),
+	smallHeads:  make(map[smallHeadKey]dist.PMF),
+	smallJoints: make(map[smallJointKey]dist.Joint),
 }
 
 // cachedAreas returns the (possibly memoized) subarea decomposition of
 // every stage for the given geometry.
 func cachedAreas(gm geom.DRGeometry) *stageAreas {
+	areaCacheMetrics.lookups.Inc()
 	key := areaKey{rs: gm.Rs, vt: gm.Vt}
 	stageCache.mu.Lock()
 	a, ok := stageCache.areas[key]
 	stageCache.mu.Unlock()
 	if ok {
+		areaCacheMetrics.hits.Inc()
 		return a
 	}
+	areaCacheMetrics.misses.Inc()
 	a = &stageAreas{head: gm.AreaHAll(), body: gm.AreaBAll(), tails: make([][]float64, gm.Ms)}
 	for j := 1; j <= gm.Ms; j++ {
 		a.tails[j-1] = gm.AreaTAll(j)
 	}
 	stageCache.mu.Lock()
 	if len(stageCache.areas) >= stageCacheLimit {
+		areaCacheMetrics.drops.Inc()
 		stageCache.areas = make(map[areaKey]*stageAreas)
 	}
 	stageCache.areas[key] = a
@@ -102,13 +127,16 @@ func pmfKey(p Params, gh, g int) stageKey {
 // key may compute twice; the loser's entry simply replaces the winner's
 // equal one.
 func cachedStagePMFs(p Params, gh, g int) (*stagePMFEntry, error) {
+	pmfCacheMetrics.lookups.Inc()
 	key := pmfKey(p, gh, g)
 	stageCache.mu.Lock()
 	e, ok := stageCache.pmfs[key]
 	stageCache.mu.Unlock()
 	if ok {
+		pmfCacheMetrics.hits.Inc()
 		return e, nil
 	}
+	pmfCacheMetrics.misses.Inc()
 	ph, pb, pt, err := computeStagePMFs(p, gh, g)
 	if err != nil {
 		return nil, err
@@ -116,6 +144,7 @@ func cachedStagePMFs(p Params, gh, g int) (*stagePMFEntry, error) {
 	e = &stagePMFEntry{ph: ph, pb: pb, pt: pt}
 	stageCache.mu.Lock()
 	if len(stageCache.pmfs) >= stageCacheLimit {
+		pmfCacheMetrics.drops.Inc()
 		stageCache.pmfs = make(map[stageKey]*stagePMFEntry)
 	}
 	stageCache.pmfs[key] = e
@@ -123,15 +152,83 @@ func cachedStagePMFs(p Params, gh, g int) (*stagePMFEntry, error) {
 	return e, nil
 }
 
+// cachedSmallHeadPMF memoizes the window-truncated Head-stage report PMF of
+// the small-window (M <= ms) evaluator.
+func cachedSmallHeadPMF(p Params, gh int) (dist.PMF, error) {
+	smallHeadCacheMetrics.lookups.Inc()
+	key := smallHeadKey{rs: p.Rs, vt: p.Vt(), fieldSide: p.FieldSide, pd: p.Pd, n: p.N, gh: gh, m: p.M}
+	stageCache.mu.Lock()
+	pmf, ok := stageCache.smallHeads[key]
+	stageCache.mu.Unlock()
+	if ok {
+		smallHeadCacheMetrics.hits.Inc()
+		return pmf, nil
+	}
+	smallHeadCacheMetrics.misses.Inc()
+	set, err := truncatedHeadSet(p)
+	if err != nil {
+		return nil, err
+	}
+	pmf, err = set.reportPMF(gh)
+	if err != nil {
+		return nil, fmt.Errorf("truncated head stage: %w", err)
+	}
+	stageCache.mu.Lock()
+	if len(stageCache.smallHeads) >= stageCacheLimit {
+		smallHeadCacheMetrics.drops.Inc()
+		stageCache.smallHeads = make(map[smallHeadKey]dist.PMF)
+	}
+	stageCache.smallHeads[key] = pmf
+	stageCache.mu.Unlock()
+	return pmf, nil
+}
+
+// cachedSmallHeadJoint memoizes the window-truncated Head-stage
+// (reports, distinct reporters) joint for the extension's small-window path.
+func cachedSmallHeadJoint(p Params, gh, ys int) (dist.Joint, error) {
+	smallJointCacheMetrics.lookups.Inc()
+	key := smallJointKey{
+		smallHeadKey: smallHeadKey{rs: p.Rs, vt: p.Vt(), fieldSide: p.FieldSide, pd: p.Pd, n: p.N, gh: gh, m: p.M},
+		ys:           ys,
+	}
+	stageCache.mu.Lock()
+	j, ok := stageCache.smallJoints[key]
+	stageCache.mu.Unlock()
+	if ok {
+		smallJointCacheMetrics.hits.Inc()
+		return j, nil
+	}
+	smallJointCacheMetrics.misses.Inc()
+	set, err := truncatedHeadSet(p)
+	if err != nil {
+		return nil, err
+	}
+	j, err = set.reportJoint(gh, ys)
+	if err != nil {
+		return nil, fmt.Errorf("truncated head stage: %w", err)
+	}
+	stageCache.mu.Lock()
+	if len(stageCache.smallJoints) >= stageCacheLimit {
+		smallJointCacheMetrics.drops.Inc()
+		stageCache.smallJoints = make(map[smallJointKey]dist.Joint)
+	}
+	stageCache.smallJoints[key] = j
+	stageCache.mu.Unlock()
+	return j, nil
+}
+
 // cachedStageJoints memoizes computeStageJoints for the extension path.
 func cachedStageJoints(p Params, gh, g, ys int) (*stageJointEntry, error) {
+	jointCacheMetrics.lookups.Inc()
 	key := jointKey{stageKey: pmfKey(p, gh, g), ys: ys}
 	stageCache.mu.Lock()
 	e, ok := stageCache.joints[key]
 	stageCache.mu.Unlock()
 	if ok {
+		jointCacheMetrics.hits.Inc()
 		return e, nil
 	}
+	jointCacheMetrics.misses.Inc()
 	jh, jb, jt, err := computeStageJoints(p, gh, g, ys)
 	if err != nil {
 		return nil, err
@@ -139,6 +236,7 @@ func cachedStageJoints(p Params, gh, g, ys int) (*stageJointEntry, error) {
 	e = &stageJointEntry{jh: jh, jb: jb, jt: jt}
 	stageCache.mu.Lock()
 	if len(stageCache.joints) >= stageCacheLimit {
+		jointCacheMetrics.drops.Inc()
 		stageCache.joints = make(map[jointKey]*stageJointEntry)
 	}
 	stageCache.joints[key] = e

@@ -46,9 +46,6 @@ func MSApproachNodes(p Params, h int, opt MSOptions) (*NodesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.M <= gm.Ms {
-		return nil, fmt.Errorf("M = %d must exceed ms = %d: %w", p.M, gm.Ms, ErrParams)
-	}
 	target := opt.TargetAccuracy
 	if target == 0 {
 		target = 0.99
@@ -68,26 +65,49 @@ func MSApproachNodes(p Params, h int, opt MSOptions) (*NodesResult, error) {
 	}
 
 	ys := h + 1
-	st, err := cachedStageJoints(p, gh, g, ys)
-	if err != nil {
-		return nil, err
+	var jh, jb dist.Joint
+	var jt []dist.Joint
+	bodySteps := p.M - gm.Ms - 1
+	if p.M > gm.Ms {
+		st, err := cachedStageJoints(p, gh, g, ys)
+		if err != nil {
+			return nil, err
+		}
+		jh, jb, jt = st.jh, st.jb, st.jt
+	} else {
+		// Small window: window-truncated Head plus the last M-1 tail steps
+		// (see smallwindow.go); no Body stage fits.
+		jh, err = cachedSmallHeadJoint(p, gh, ys)
+		if err != nil {
+			return nil, err
+		}
+		bodySteps = 0
+		if p.M > 1 {
+			st, err := cachedStageJoints(p, gh, g, ys)
+			if err != nil {
+				return nil, err
+			}
+			jt = st.jt[gm.Ms-p.M+1:]
+		}
 	}
 	// Exact report-axis bound across all stages.
-	xs := st.jh.XSize()
-	bodySteps := p.M - gm.Ms - 1
-	xs += bodySteps * (st.jb.XSize() - 1)
-	for _, t := range st.jt {
+	xs := jh.XSize()
+	xs += bodySteps * (jb.XSize() - 1)
+	for _, t := range jt {
 		xs += t.XSize() - 1
 	}
 
-	// ms >= 1, so at least one ConvolveJoint runs and total never aliases
-	// the cached jh.
-	total := st.jh
+	total := jh
 	for i := 0; i < bodySteps; i++ {
-		total = dist.ConvolveJoint(total, st.jb, xs, ys)
+		total = dist.ConvolveJoint(total, jb, xs, ys)
 	}
-	for _, t := range st.jt {
+	for _, t := range jt {
 		total = dist.ConvolveJoint(total, t, xs, ys)
+	}
+	if bodySteps == 0 && len(jt) == 0 {
+		// M = 1: no convolution ran, so total still aliases the cached head
+		// joint; copy before handing it to the caller.
+		total = dist.ConvolveJoint(total, dist.PointJoint(0, 0, 1, 1), xs, ys)
 	}
 
 	res := &NodesResult{

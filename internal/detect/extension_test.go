@@ -25,8 +25,8 @@ func TestNodesValidation(t *testing.T) {
 		t.Error("invalid params should fail")
 	}
 	short := Defaults().WithM(3)
-	if _, err := MSApproachNodes(short, 1, MSOptions{}); err == nil {
-		t.Error("M <= ms should fail")
+	if _, err := MSApproachNodes(short, 1, MSOptions{Gh: 3, G: 3}); err != nil {
+		t.Errorf("M <= ms should use the small-window evaluator, got %v", err)
 	}
 }
 

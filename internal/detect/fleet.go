@@ -56,8 +56,9 @@ type MixedResult struct {
 // natural generalization its machinery supports.
 //
 // base supplies the field, target and K-of-M rule; its N, Rs and Pd are
-// ignored in favor of the classes. Every class must satisfy M > ms for its
-// own geometry.
+// ignored in favor of the classes. A class whose own geometry gives ms >= M
+// (slow coverage traversal, e.g. a very long sensing range) is handled by
+// the small-window evaluator.
 func MSApproachMixed(base Params, classes []SensorClass, opt MSOptions) (*MixedResult, error) {
 	if len(classes) == 0 {
 		return nil, fmt.Errorf("no sensor classes: %w", ErrParams)

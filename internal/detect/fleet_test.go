@@ -132,8 +132,9 @@ func TestMixedValidation(t *testing.T) {
 	if _, err := MSApproachMixed(p, []SensorClass{{Count: 10, Rs: 0, Pd: 0.9}}, MSOptions{}); err == nil {
 		t.Error("zero range should fail")
 	}
-	// A class whose ms >= M must fail (slow coverage traversal).
-	if _, err := MSApproachMixed(p, []SensorClass{{Count: 10, Rs: 8000, Pd: 0.9}}, MSOptions{}); err == nil {
-		t.Error("class with ms >= M should fail")
+	// A class whose ms >= M (slow coverage traversal) now runs through the
+	// small-window evaluator instead of failing.
+	if _, err := MSApproachMixed(p, []SensorClass{{Count: 10, Rs: 8000, Pd: 0.9}}, MSOptions{Gh: 4, G: 4}); err != nil {
+		t.Errorf("class with ms >= M should use the small-window evaluator, got %v", err)
 	}
 }

@@ -8,13 +8,9 @@ import (
 // LatencyCDF is the distribution of detection latency: P[m] is the
 // probability that the K-of-M rule has fired by the end of sensing period
 // FirstPeriod+m after the target entered the field.
-//
-// The M-S-approach needs more periods than ms to apply, so the analytical
-// CDF starts at FirstPeriod = ms+1; detection earlier than that is possible
-// but rare in sparse fields (it requires K reports from the first few
-// DRs) and is covered by the simulator's latency histogram instead.
 type LatencyCDF struct {
-	// FirstPeriod is the earliest period the analysis covers (ms+1).
+	// FirstPeriod is the earliest period the analysis covers.
+	// DetectionLatency computes the full profile from period 1.
 	FirstPeriod int
 	// P[i] is the probability of detection by period FirstPeriod+i.
 	P []float64
@@ -44,26 +40,23 @@ func (l LatencyCDF) Quantile(q float64) (int, bool) {
 	return l.FirstPeriod + i, true
 }
 
-// DetectionLatency computes the analytical latency CDF for periods
-// ms+1..M: the probability of accumulating K reports within the first m
-// periods is exactly the M-S-approach run with window m, so the CDF is a
-// sweep of truncated windows. This extends the paper's end-of-window
-// detection probability (its Figure 9 value is the CDF's last point) to
-// the full time profile — a "how long until we notice" curve.
+// DetectionLatency computes the analytical latency CDF for periods 1..M:
+// the probability of accumulating K reports within the first m periods is
+// exactly the M-S-approach run with window m, so the CDF is a sweep of
+// truncated windows (the small-window evaluator covers m <= ms). This
+// extends the paper's end-of-window detection probability (its Figure 9
+// value is the CDF's last point) to the full time profile — a "how long
+// until we notice" curve.
 func DetectionLatency(p Params, opt MSOptions) (LatencyCDF, error) {
 	if err := p.Validate(); err != nil {
 		return LatencyCDF{}, err
 	}
-	ms := p.Ms()
-	if p.M <= ms {
-		return LatencyCDF{}, fmt.Errorf("M = %d must exceed ms = %d: %w", p.M, ms, ErrParams)
-	}
 	out := LatencyCDF{
-		FirstPeriod: ms + 1,
-		P:           make([]float64, 0, p.M-ms),
+		FirstPeriod: 1,
+		P:           make([]float64, 0, p.M),
 	}
 	prev := 0.0
-	for m := ms + 1; m <= p.M; m++ {
+	for m := 1; m <= p.M; m++ {
 		res, err := MSApproach(p.WithM(m), opt)
 		if err != nil {
 			return LatencyCDF{}, err

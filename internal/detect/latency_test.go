@@ -12,11 +12,11 @@ func TestDetectionLatencyBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cdf.FirstPeriod != p.Ms()+1 {
-		t.Errorf("FirstPeriod = %d, want %d", cdf.FirstPeriod, p.Ms()+1)
+	if cdf.FirstPeriod != 1 {
+		t.Errorf("FirstPeriod = %d, want 1", cdf.FirstPeriod)
 	}
-	if len(cdf.P) != p.M-p.Ms() {
-		t.Errorf("len(P) = %d, want %d", len(cdf.P), p.M-p.Ms())
+	if len(cdf.P) != p.M {
+		t.Errorf("len(P) = %d, want %d", len(cdf.P), p.M)
 	}
 	// Monotone non-decreasing and within [0, 1].
 	prev := 0.0
@@ -66,9 +66,13 @@ func TestDetectionLatencyValidation(t *testing.T) {
 	if _, err := DetectionLatency(bad, MSOptions{}); err == nil {
 		t.Error("invalid params should fail")
 	}
-	short := Defaults().WithM(4)
-	if _, err := DetectionLatency(short, MSOptions{}); err == nil {
-		t.Error("M <= ms should fail")
+	short := Defaults().WithM(4) // M == ms: every window is small
+	cdf, err := DetectionLatency(short, MSOptions{Gh: 4, G: 4})
+	if err != nil {
+		t.Fatalf("M <= ms should use the small-window evaluator, got %v", err)
+	}
+	if len(cdf.P) != short.M {
+		t.Errorf("len(P) = %d, want %d", len(cdf.P), short.M)
 	}
 }
 

@@ -1,0 +1,31 @@
+package detect
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// cacheMetrics counts one memo map's traffic. Every lookup increments
+// lookups on entry and then exactly one of hits or misses, so
+// lookups == hits + misses at any quiescent point (the concurrent-sweep
+// test asserts this under the race detector). drops counts wholesale map
+// resets at stageCacheLimit.
+type cacheMetrics struct {
+	lookups, hits, misses, drops *obs.Counter
+}
+
+func newCacheMetrics(name string) cacheMetrics {
+	return cacheMetrics{
+		lookups: obs.Default.Counter("detect.cache." + name + ".lookups"),
+		hits:    obs.Default.Counter("detect.cache." + name + ".hits"),
+		misses:  obs.Default.Counter("detect.cache." + name + ".misses"),
+		drops:   obs.Default.Counter("detect.cache." + name + ".drops"),
+	}
+}
+
+// Metric handles are resolved once at package init so the cache paths do
+// plain atomic increments, never registry map lookups.
+var (
+	areaCacheMetrics       = newCacheMetrics("areas")
+	pmfCacheMetrics        = newCacheMetrics("pmfs")
+	jointCacheMetrics      = newCacheMetrics("joints")
+	smallHeadCacheMetrics  = newCacheMetrics("smallheads")
+	smallJointCacheMetrics = newCacheMetrics("smalljoints")
+)

@@ -106,16 +106,16 @@ func computeStagePMFs(p Params, gh, g int) (ph, pb dist.PMF, pt []dist.PMF, err 
 }
 
 // MSApproach analyzes group-based detection with the Markov-chain-based
-// Spatial approach (Section 3.4). It requires M > ms, the general case the
-// paper considers; use SinglePeriod for M = 1.
+// Spatial approach (Section 3.4). It covers every window length M >= 1: the
+// paper's general case M > ms chains Head, Body and Tail stages, while for
+// M <= ms the window-truncated Head plus the last M-1 Tail stages are
+// chained directly (see smallwindow.go); at M = 1 this degenerates to the
+// Section 3.1 binomial preliminary.
 func MSApproach(p Params, opt MSOptions) (*MSResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	ms := p.Ms()
-	if p.M <= ms {
-		return nil, fmt.Errorf("M = %d must exceed ms = %d for the M-S-approach: %w", p.M, ms, ErrParams)
-	}
 	target := opt.TargetAccuracy
 	if target == 0 {
 		target = 0.99
@@ -139,16 +139,37 @@ func MSApproach(p Params, opt MSOptions) (*MSResult, error) {
 		}
 	}
 
-	st, err := cachedStagePMFs(p, gh, g)
-	if err != nil {
-		return nil, err
+	var ph, pb dist.PMF
+	var pt []dist.PMF
+	bodySteps := p.M - ms - 1
+	if p.M > ms {
+		st, err := cachedStagePMFs(p, gh, g)
+		if err != nil {
+			return nil, err
+		}
+		ph, pb, pt = st.ph, st.pb, st.pt
+	} else {
+		// Small window: the ARegion is the window-truncated Head NEDR plus
+		// the last M-1 tail steps; no Body stage fits.
+		var err error
+		ph, err = cachedSmallHeadPMF(p, gh)
+		if err != nil {
+			return nil, err
+		}
+		bodySteps = 0
+		if p.M > 1 {
+			st, err := cachedStagePMFs(p, gh, g)
+			if err != nil {
+				return nil, err
+			}
+			pt = st.pt[ms-p.M+1:]
+		}
 	}
-	ph, pb, pt := st.ph, st.pb, st.pt
 
 	var total dist.PMF
 	switch opt.Evaluator {
 	case 0, EvaluatorConvolution:
-		total = dist.Convolve(ph, dist.ConvolvePower(pb, p.M-ms-1))
+		total = dist.Convolve(ph, dist.ConvolvePower(pb, bodySteps))
 		for _, t := range pt {
 			total = dist.Convolve(total, t)
 		}
@@ -156,7 +177,8 @@ func MSApproach(p Params, opt MSOptions) (*MSResult, error) {
 			total = total.Truncate(p.K+1, true)
 		}
 	case EvaluatorMatrix:
-		total, err = evaluateMatrix(ph, pb, pt, p.M-ms-1, mergeSize(opt, p))
+		var err error
+		total, err = evaluateMatrix(ph, pb, pt, bodySteps, mergeSize(opt, p))
 		if err != nil {
 			return nil, err
 		}

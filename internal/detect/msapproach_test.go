@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/groupdetect/gbd/internal/dist"
@@ -41,10 +42,8 @@ func TestMSApproachValidation(t *testing.T) {
 	if _, err := MSApproach(bad, MSOptions{}); err == nil {
 		t.Error("invalid params should fail")
 	}
-	short := Defaults().WithM(3) // M <= ms = 4
-	if _, err := MSApproach(short, MSOptions{}); err == nil {
-		t.Error("M <= ms should fail")
-	}
+	// M <= ms no longer fails: the small-window evaluator covers it
+	// (smallwindow_test.go). Only the S- and T-approaches reject it.
 	if _, err := MSApproach(Defaults(), MSOptions{TargetAccuracy: 1.5}); err == nil {
 		t.Error("target accuracy > 1 should fail")
 	}
@@ -198,8 +197,8 @@ func TestSApproachValidation(t *testing.T) {
 		t.Error("invalid params should fail")
 	}
 	short := Defaults().WithM(2)
-	if _, err := SApproach(short, SOptions{}); err == nil {
-		t.Error("M <= ms should fail")
+	if _, err := SApproach(short, SOptions{}); !errors.Is(err, ErrWindowTooShort) || !errors.Is(err, ErrParams) {
+		t.Errorf("M <= ms should report ErrWindowTooShort wrapping ErrParams, got %v", err)
 	}
 	if _, err := SApproach(Defaults(), SOptions{TargetAccuracy: -0.5}); err == nil {
 		t.Error("negative target should fail")

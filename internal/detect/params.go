@@ -23,6 +23,14 @@ import (
 // ErrParams reports invalid model parameters.
 var ErrParams = errors.New("detect: invalid parameters")
 
+// ErrWindowTooShort reports that an analysis path requires the detection
+// window to exceed ms. It wraps ErrParams, so errors.Is(err, ErrParams)
+// still matches. MSApproach, MSApproachNodes and DetectionLatency handle
+// every M >= 1 via the small-window evaluator; only the S- and T-approaches
+// return this error, because their whole-ARegion enumeration assumes all
+// ms+1 coverage spans occur.
+var ErrWindowTooShort = fmt.Errorf("detect: window M must exceed ms: %w", ErrParams)
+
 // Params describes a sparse-sensor-network surveillance scenario
 // (Section 2 terminology).
 type Params struct {

@@ -58,7 +58,7 @@ func SApproach(p Params, opt SOptions) (*SResult, error) {
 		return nil, err
 	}
 	if p.M <= gm.Ms {
-		return nil, fmt.Errorf("M = %d must exceed ms = %d for the S-approach: %w", p.M, gm.Ms, ErrParams)
+		return nil, fmt.Errorf("M = %d, ms = %d for the S-approach: %w", p.M, gm.Ms, ErrWindowTooShort)
 	}
 	target := opt.TargetAccuracy
 	if target == 0 {

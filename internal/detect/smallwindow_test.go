@@ -1,0 +1,180 @@
+package detect
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/dist"
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+func TestErrWindowTooShortWrapsErrParams(t *testing.T) {
+	if !errors.Is(ErrWindowTooShort, ErrParams) {
+		t.Error("ErrWindowTooShort must wrap ErrParams")
+	}
+}
+
+// TestMSApproachM1MatchesBinomial: with an untruncated head (gh = N) the
+// small-window evaluator at M = 1 must reproduce the Section 3.1
+// preliminary exactly — Binomial(N, p_indi) — under both evaluators.
+func TestMSApproachM1MatchesBinomial(t *testing.T) {
+	p := Defaults().WithM(1)
+	single, err := SinglePeriod(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTail, err := SinglePeriodTail(p, p.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []Evaluator{EvaluatorConvolution, EvaluatorMatrix} {
+		res := mustMS(t, p, MSOptions{Gh: p.N, G: 1, Evaluator: ev})
+		if d := dist.MaxAbsDiff(res.PMF, single); d > 1e-9 {
+			t.Errorf("evaluator %d: PMF differs from Binomial(N, p_indi) by %v", ev, d)
+		}
+		if !numeric.AlmostEqual(res.DetectionProb, wantTail, 1e-9, 1e-9) {
+			t.Errorf("evaluator %d: detection prob %v, binomial tail %v", ev, res.DetectionProb, wantTail)
+		}
+		if !numeric.AlmostEqual(res.Mass, 1, 1e-12, 1e-12) {
+			t.Errorf("evaluator %d: untruncated mass = %v, want 1", ev, res.Mass)
+		}
+	}
+}
+
+// TestSmallWindowEvaluatorsAgree cross-checks the convolution and matrix
+// paths for every small window, including the merged-state mode.
+func TestSmallWindowEvaluatorsAgree(t *testing.T) {
+	p := Defaults()
+	for m := 1; m <= p.Ms(); m++ {
+		pm := p.WithM(m)
+		conv := mustMS(t, pm, MSOptions{Gh: 4, G: 4, Evaluator: EvaluatorConvolution})
+		mat := mustMS(t, pm, MSOptions{Gh: 4, G: 4, Evaluator: EvaluatorMatrix})
+		if d := dist.MaxAbsDiff(conv.PMF, mat.PMF); d > 1e-12 {
+			t.Errorf("M=%d: evaluators differ by %v", m, d)
+		}
+		merged := mustMS(t, pm, MSOptions{Gh: 4, G: 4, MergeAtK: true})
+		if len(merged.PMF) != pm.K+1 {
+			t.Errorf("M=%d: merged PMF has %d states, want %d", m, len(merged.PMF), pm.K+1)
+		}
+		if !numeric.AlmostEqual(merged.DetectionProb, conv.DetectionProb, 1e-10, 1e-10) {
+			t.Errorf("M=%d: merged %v vs full %v", m, merged.DetectionProb, conv.DetectionProb)
+		}
+	}
+}
+
+// TestSmallWindowMassEqualsEtaMS: Eq. (14) extends to small windows — the
+// truncated head keeps the xi_h count truncation (span folding moves area
+// between subareas, not out of the region) and each of the M-1 tails keeps
+// xi.
+func TestSmallWindowMassEqualsEtaMS(t *testing.T) {
+	p := Defaults()
+	for m := 1; m <= p.Ms(); m++ {
+		pm := p.WithM(m)
+		res := mustMS(t, pm, MSOptions{Gh: 3, G: 3})
+		want := EtaMS(pm, 3, 3)
+		if !numeric.AlmostEqual(res.Mass, want, 1e-9, 1e-9) {
+			t.Errorf("M=%d: mass = %v, etaMS = %v", m, res.Mass, want)
+		}
+	}
+}
+
+// TestTruncatedHeadAreaConservation: folding spans must not change the head
+// region's total size, and head plus the chained tail crescents must tile
+// the M-period ARegion.
+func TestTruncatedHeadAreaConservation(t *testing.T) {
+	p := Defaults()
+	gm, err := p.Geometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := gm.AreaHAll()
+	for m := 1; m <= gm.Ms; m++ {
+		trunc := truncatedHeadAreas(head, m)
+		if len(trunc) != m+1 {
+			t.Fatalf("M=%d: %d subareas, want %d", m, len(trunc), m+1)
+		}
+		total := numeric.SumSlice(trunc)
+		if !numeric.AlmostEqual(total, gm.DRArea(), 1e-9, 1e-6) {
+			t.Errorf("M=%d: truncated head area %v != DR area %v", m, total, gm.DRArea())
+		}
+		// Spans below the fold are untouched.
+		for i := 1; i < m; i++ {
+			if trunc[i] != head[i] {
+				t.Errorf("M=%d: subarea %d changed: %v != %v", m, i, trunc[i], head[i])
+			}
+		}
+		region := total + float64(m-1)*gm.BodyNEDRArea()
+		if d := math.Abs(region - gm.ARegionArea(m)); d > 1e-5*gm.ARegionArea(m) {
+			t.Errorf("M=%d: stages tile %v, ARegion is %v", m, region, gm.ARegionArea(m))
+		}
+	}
+}
+
+// TestSmallWindowMonotoneAcrossBoundary: the detection probability must
+// grow smoothly in M through the small-window/general-case seam at M = ms.
+func TestSmallWindowMonotoneAcrossBoundary(t *testing.T) {
+	p := Defaults()
+	prev := -1.0
+	for m := 1; m <= p.Ms()+4; m++ {
+		res := mustMS(t, p.WithM(m), MSOptions{Gh: 6, G: 6})
+		if res.DetectionProb < prev-1e-9 {
+			t.Fatalf("detection prob decreased at M=%d: %v < %v", m, res.DetectionProb, prev)
+		}
+		prev = res.DetectionProb
+	}
+}
+
+// TestNodesSmallWindowH1MatchesBase: the extension's small-window path must
+// agree with the base analysis when the distinct-node requirement is vacuous.
+func TestNodesSmallWindowH1MatchesBase(t *testing.T) {
+	p := Defaults()
+	for m := 1; m <= p.Ms(); m++ {
+		pm := p.WithM(m)
+		ext := mustNodes(t, pm, 1, MSOptions{Gh: 3, G: 3})
+		base := mustMS(t, pm, MSOptions{Gh: 3, G: 3})
+		if !numeric.AlmostEqual(ext.DetectionProb, base.DetectionProb, 1e-10, 1e-9) {
+			t.Errorf("M=%d: h=1 ext %v vs base %v", m, ext.DetectionProb, base.DetectionProb)
+		}
+		if !numeric.AlmostEqual(ext.Mass, base.Mass, 1e-10, 1e-9) {
+			t.Errorf("M=%d: masses differ: %v vs %v", m, ext.Mass, base.Mass)
+		}
+		if err := ext.Joint.Validate(); err != nil {
+			t.Errorf("M=%d: joint invalid: %v", m, err)
+		}
+	}
+}
+
+// TestNodesM1ResultDoesNotAliasCache: at M = 1 no convolution runs, so the
+// implementation must copy the cached head joint before returning it.
+func TestNodesM1ResultDoesNotAliasCache(t *testing.T) {
+	p := Defaults().WithM(1)
+	opt := MSOptions{Gh: 3, G: 3}
+	first := mustNodes(t, p, 2, opt)
+	first.Joint[0][0] = 42 // callers may scribble on their copy
+	second := mustNodes(t, p, 2, opt)
+	if second.Joint[0][0] == 42 {
+		t.Error("result joint aliases the stage cache")
+	}
+}
+
+// TestDetectionLatencyFullProfile: the CDF covers every period from 1, and
+// its first point is the Section 3.1 single-period tail when the head is
+// untruncated.
+func TestDetectionLatencyFullProfile(t *testing.T) {
+	p := Defaults()
+	cdf, err := DetectionLatency(p, MSOptions{Gh: p.N, G: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf.FirstPeriod != 1 || len(cdf.P) != p.M {
+		t.Fatalf("CDF covers [%d, %d+%d), want [1, %d]", cdf.FirstPeriod, cdf.FirstPeriod, len(cdf.P), p.M)
+	}
+	want, err := SinglePeriodTail(p, p.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(cdf.ByPeriod(1), want, 1e-9, 1e-9) {
+		t.Errorf("CDF(1) = %v, single-period tail = %v", cdf.ByPeriod(1), want)
+	}
+}

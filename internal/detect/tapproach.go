@@ -88,7 +88,7 @@ func TApproach(p Params, opt TOptions) (*TResult, error) {
 		return nil, err
 	}
 	if p.M <= gm.Ms {
-		return nil, fmt.Errorf("M = %d must exceed ms = %d: %w", p.M, gm.Ms, ErrParams)
+		return nil, fmt.Errorf("M = %d, ms = %d for the T-approach: %w", p.M, gm.Ms, ErrWindowTooShort)
 	}
 	target := opt.TargetAccuracy
 	if target == 0 {

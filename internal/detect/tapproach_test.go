@@ -31,8 +31,8 @@ func TestTApproachValidation(t *testing.T) {
 		t.Error("invalid params should fail")
 	}
 	short := smallScenario().WithM(2)
-	if _, err := TApproach(short, TOptions{}); err == nil {
-		t.Error("M <= ms should fail")
+	if _, err := TApproach(short, TOptions{}); !errors.Is(err, ErrWindowTooShort) {
+		t.Error("M <= ms should report ErrWindowTooShort")
 	}
 }
 

@@ -1,0 +1,8 @@
+package experiments
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// experimentRuns counts experiment runner invocations; every runner
+// normalizes its Options through withDefaults exactly once, so that is
+// where the counter ticks.
+var experimentRuns = obs.Default.Counter("experiments.runs")

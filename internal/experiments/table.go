@@ -31,6 +31,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() (Options, error) {
+	experimentRuns.Inc()
 	if o.Trials < 0 {
 		return o, fmt.Errorf("trials = %d: %w", o.Trials, ErrExperiment)
 	}

@@ -1,0 +1,31 @@
+package netsim
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// Metric handles are resolved once at package init; Send and Reset only do
+// atomic updates, keeping the delivery hot path lock-free.
+var (
+	routingResets       = obs.Default.Counter("netsim.routing.resets")
+	sendDelivered       = obs.Default.Counter("netsim.send.delivered")
+	sendLate            = obs.Default.Counter("netsim.send.late")
+	sendLost            = obs.Default.Counter("netsim.send.lost")
+	sendRerouted        = obs.Default.Counter("netsim.send.rerouted")
+	sendRetransmissions = obs.Default.Counter("netsim.send.retransmissions")
+	sendLatency         = obs.Default.Histogram("netsim.send.latency_seconds", obs.SecondsBuckets())
+)
+
+// recordDelivery stamps one Send outcome into the registry.
+func recordDelivery(d Delivery) {
+	switch d.Outcome {
+	case Delivered:
+		sendDelivered.Inc()
+	case Late:
+		sendLate.Inc()
+	case Lost:
+		sendLost.Inc()
+	}
+	if d.Rerouted {
+		sendRerouted.Inc()
+	}
+	sendLatency.Observe(d.Latency.Seconds())
+}

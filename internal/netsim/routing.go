@@ -71,6 +71,7 @@ func (r *Routing) Hops(src int) (int, error) {
 // alive), reusing the table's storage. This is the only cache invalidation:
 // call it exactly when the mask epoch changes.
 func (r *Routing) Reset(alive []bool) error {
+	routingResets.Inc()
 	n := r.net
 	if alive != nil {
 		if len(alive) != len(n.nodes) {
@@ -171,7 +172,9 @@ func (r *Routing) Send(src int, m LossModel, rng *rand.Rand) (Delivery, error) {
 		return Delivery{}, err
 	}
 	if src == r.base {
-		return Delivery{Outcome: Delivered}, nil
+		d := Delivery{Outcome: Delivered}
+		recordDelivery(d)
+		return d, nil
 	}
 	r.mu.Lock()
 	gh := r.greedyHopsLocked(int32(src))
@@ -182,7 +185,9 @@ func (r *Routing) Send(src int, m LossModel, rng *rand.Rand) (Delivery, error) {
 	case gh >= 0:
 		d = Delivery{Hops: int(gh)}
 	case bfs < 0:
-		return Delivery{Outcome: Lost, Rerouted: true}, nil
+		d = Delivery{Outcome: Lost, Rerouted: true}
+		recordDelivery(d)
+		return d, nil
 	default:
 		d = Delivery{Hops: int(bfs), Rerouted: true}
 	}
@@ -191,6 +196,7 @@ func (r *Routing) Send(src int, m LossModel, rng *rand.Rand) (Delivery, error) {
 		for attempt := 0; attempt <= m.MaxRetries; attempt++ {
 			if attempt > 0 {
 				d.Latency += m.Backoff << (attempt - 1)
+				sendRetransmissions.Inc()
 			}
 			d.Attempts++
 			d.Latency += m.PerHop
@@ -201,6 +207,7 @@ func (r *Routing) Send(src int, m LossModel, rng *rand.Rand) (Delivery, error) {
 		}
 		if !sent {
 			d.Outcome = Lost
+			recordDelivery(d)
 			return d, nil
 		}
 	}
@@ -208,6 +215,7 @@ func (r *Routing) Send(src int, m LossModel, rng *rand.Rand) (Delivery, error) {
 	if d.Latency > m.Budget {
 		d.Outcome = Late
 	}
+	recordDelivery(d)
 	return d, nil
 }
 

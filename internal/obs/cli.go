@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// Flags holds the standard observability flag values every gbd binary
+// exposes. Wire them with AddFlags, then bracket the run with Start/Close.
+type Flags struct {
+	// MetricsOut is the run-manifest destination (empty = off).
+	MetricsOut string
+	// Pprof is a path prefix: Start writes CPU samples to
+	// <prefix>.cpu.pprof and Close writes the heap to <prefix>.heap.pprof
+	// (empty = off).
+	Pprof string
+	// Trace is the runtime execution-trace destination (empty = off).
+	Trace string
+}
+
+// AddFlags registers -metrics-out, -pprof and -trace on fs and returns the
+// value holder.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON run manifest (params, build, timings, metrics) to this file")
+	fs.StringVar(&f.Pprof, "pprof", "", "profile path prefix: writes <prefix>.cpu.pprof and <prefix>.heap.pprof")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Session is one observed run of a binary: profiles and tracing started,
+// the manifest stamped. Close is safe to call exactly once.
+type Session struct {
+	flags    *Flags
+	manifest *Manifest
+	cpuFile  *os.File
+	traceOut *os.File
+}
+
+// Start begins the observed run: starts the CPU profile and execution
+// trace when requested and stamps the manifest's static fields. binary is
+// the command name, args the raw CLI arguments (recorded for
+// reproducibility).
+func (f *Flags) Start(binary string, args []string) (*Session, error) {
+	s := &Session{flags: f, manifest: newManifest(binary, args)}
+	if f.Pprof != "" {
+		cf, err := os.Create(f.Pprof + ".cpu.pprof")
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		s.cpuFile = cf
+	}
+	if f.Trace != "" {
+		tf, err := os.Create(f.Trace)
+		if err != nil {
+			s.stopProfiles()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(tf); err != nil {
+			tf.Close()
+			s.stopProfiles()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		s.traceOut = tf
+	}
+	return s, nil
+}
+
+// SetParams records the run's configuration in the manifest (any
+// JSON-serializable value).
+func (s *Session) SetParams(params any) { s.manifest.Params = params }
+
+// SetSeed records the campaign seed in the manifest.
+func (s *Session) SetSeed(seed int64) { s.manifest.Seed = seed }
+
+func (s *Session) stopProfiles() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+	if s.traceOut != nil {
+		trace.Stop()
+		s.traceOut.Close()
+		s.traceOut = nil
+	}
+}
+
+// Close finalizes the run: stops the CPU profile and trace, writes the
+// heap profile, stamps timings, snapshots the Default registry, and writes
+// the manifest when -metrics-out was given. It runs even after run errors
+// so partial campaigns still leave a record; the first error encountered
+// is returned.
+func (s *Session) Close() error {
+	s.stopProfiles()
+	var firstErr error
+	if s.flags.Pprof != "" {
+		hf, err := os.Create(s.flags.Pprof + ".heap.pprof")
+		if err == nil {
+			runtime.GC() // publish up-to-date allocation stats
+			err = pprof.WriteHeapProfile(hf)
+			if cerr := hf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: heap profile: %w", err)
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		m := s.manifest
+		m.WallSeconds = time.Since(m.Start).Seconds()
+		m.CPUSeconds = cpuSeconds()
+		m.Metrics = Default.Snapshot()
+		if err := m.WriteFile(s.flags.MetricsOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestVersion identifies the manifest schema; bump it when a required
+// field changes shape.
+const ManifestVersion = 1
+
+// Manifest is the per-run record a binary writes via -metrics-out: enough
+// to re-run the exact invocation (binary, args, params, seed), attribute
+// it to a build (VCS revision, Go version), and see what it cost (wall and
+// CPU time) and did (the metric snapshot).
+type Manifest struct {
+	Version int    `json:"version"`
+	Binary  string `json:"binary"`
+	// Args are the command-line arguments as parsed (flag values included).
+	Args []string `json:"args,omitempty"`
+	// Params carries the scenario or tool-specific configuration; it is
+	// schema-free by design (each binary stores what it ran).
+	Params any `json:"params,omitempty"`
+	// Seed is the campaign seed for simulation-backed runs, 0 otherwise.
+	Seed int64 `json:"seed,omitempty"`
+	// VCSRevision/VCSTime/VCSModified come from the embedded build info —
+	// the `git describe` equivalent available without shelling out.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Start is when the run began; WallSeconds and CPUSeconds are the
+	// elapsed wall clock and the process's user+system CPU time at Close.
+	Start       time.Time `json:"start"`
+	WallSeconds float64   `json:"wall_seconds"`
+	CPUSeconds  float64   `json:"cpu_seconds"`
+	// Metrics is the Default-registry snapshot taken at Close.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// newManifest stamps the static fields of a run manifest.
+func newManifest(binary string, args []string) *Manifest {
+	m := &Manifest{
+		Version:    ManifestVersion,
+		Binary:     binary,
+		Args:       args,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Start:      time.Now(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// WriteFile serializes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ValidateManifestJSON schema-checks a serialized manifest: it must be
+// valid JSON with the required identity, host, and timing fields present
+// and plausible. CLI tests run every binary's -metrics-out output through
+// this.
+func ValidateManifestJSON(data []byte) error {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("obs: manifest not valid JSON: %w", err)
+	}
+	switch {
+	case m.Version != ManifestVersion:
+		return fmt.Errorf("obs: manifest version %d, want %d", m.Version, ManifestVersion)
+	case m.Binary == "":
+		return fmt.Errorf("obs: manifest missing binary name")
+	case m.GoVersion == "":
+		return fmt.Errorf("obs: manifest missing go_version")
+	case m.GOOS == "" || m.GOARCH == "":
+		return fmt.Errorf("obs: manifest missing goos/goarch")
+	case m.NumCPU < 1 || m.GOMAXPROCS < 1:
+		return fmt.Errorf("obs: manifest host fields implausible: num_cpu=%d gomaxprocs=%d", m.NumCPU, m.GOMAXPROCS)
+	case m.Start.IsZero():
+		return fmt.Errorf("obs: manifest missing start time")
+	case m.WallSeconds < 0 || m.CPUSeconds < 0:
+		return fmt.Errorf("obs: manifest negative timing: wall=%v cpu=%v", m.WallSeconds, m.CPUSeconds)
+	}
+	return nil
+}

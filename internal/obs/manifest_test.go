@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSessionWritesValidManifest(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	args := []string{
+		"-metrics-out", filepath.Join(dir, "manifest.json"),
+		"-pprof", filepath.Join(dir, "prof"),
+		"-trace", filepath.Join(dir, "trace.out"),
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.Start("obs-test", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Default.Counter("obs.test.events").Add(2)
+	sess.SetParams(map[string]int{"n": 120})
+	sess.SetSeed(42)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateManifestJSON(data); err != nil {
+		t.Errorf("manifest invalid: %v", err)
+	}
+	for _, p := range []string{"prof.cpu.pprof", "prof.heap.pprof", "trace.out"} {
+		st, err := os.Stat(filepath.Join(dir, p))
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestSessionWithoutFlagsIsNoop(t *testing.T) {
+	f := &Flags{}
+	sess, err := f.Start("noop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("noop close: %v", err)
+	}
+}
+
+func TestValidateManifestJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"empty object":    "{}",
+		"wrong version":   `{"version": 99, "binary": "x", "go_version": "go", "goos": "a", "goarch": "b", "num_cpu": 1, "gomaxprocs": 1, "start": "2026-01-01T00:00:00Z"}`,
+		"missing binary":  `{"version": 1, "go_version": "go", "goos": "a", "goarch": "b", "num_cpu": 1, "gomaxprocs": 1, "start": "2026-01-01T00:00:00Z"}`,
+		"zero start time": `{"version": 1, "binary": "x", "go_version": "go", "goos": "a", "goarch": "b", "num_cpu": 1, "gomaxprocs": 1}`,
+	}
+	for name, data := range cases {
+		if err := ValidateManifestJSON([]byte(data)); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+	ok := `{"version": 1, "binary": "x", "go_version": "go1.22", "goos": "linux", "goarch": "amd64",
+	        "num_cpu": 4, "gomaxprocs": 4, "start": "2026-01-01T00:00:00Z",
+	        "wall_seconds": 0.5, "cpu_seconds": 0.4, "metrics": {}}`
+	if err := ValidateManifestJSON([]byte(ok)); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+}

@@ -22,7 +22,7 @@ import (
 // independent of worker scheduling.
 func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
 	p := cfg.Params
-	scratch := scratchPool.Get().(*trialScratch)
+	scratch := getScratch()
 	defer scratchPool.Put(scratch)
 	rng := scratch.seed(field.DeriveSeed(cfg.Seed, int64(trial)))
 	bounds := geom.Square(p.FieldSide)

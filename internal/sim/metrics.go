@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+// Metric handles are resolved once at package init. The trial hot path
+// touches them only via atomic operations; nothing here consumes trial
+// randomness, so instrumented campaigns remain bit-identical to
+// uninstrumented ones (the determinism goldens assert it).
+//
+// Per-trial wall-clock timing is sampled 1-in-(trialSampleMask+1): clock
+// reads cost ~100ns on virtualized hosts, which would blow the <2%
+// single-trial overhead budget if paid on every ~20µs trial. The sampled
+// histogram keeps its own observation count, so mean trial time is still
+// Sum/Count; only the sample size shrinks.
+var (
+	trialsTotal  = obs.Default.Counter("sim.trials")
+	trialSeconds = obs.Default.Histogram("sim.trial_seconds", obs.SecondsBuckets())
+	scratchNews  = obs.Default.Counter("sim.scratch.news")
+	scratchGets  = obs.Default.Counter("sim.scratch.gets")
+)
+
+// trialTick drives the timing sampler; it is separate from trialsTotal so
+// Registry.Reset cannot skew the sampling cadence mid-campaign.
+var trialTick atomic.Uint64
+
+const trialSampleMask = 63 // time 1 trial in 64

@@ -27,8 +27,16 @@ type trialScratch struct {
 
 var scratchPool = sync.Pool{
 	New: func() any {
+		scratchNews.Inc()
 		return &trialScratch{rng: field.NewRand(0), buf: make([]int, 0, 16)}
 	},
+}
+
+// getScratch checks a scratch out of the pool; gets minus news is the
+// number of pooled reuses.
+func getScratch() *trialScratch {
+	scratchGets.Inc()
+	return scratchPool.Get().(*trialScratch)
 }
 
 // seed points the scratch RNG at one trial's stream. Reseeding the pooled

@@ -330,11 +330,16 @@ func RunTrial(cfg Config, trial int) (*TrialResult, error) {
 }
 
 func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
+	trialsTotal.Inc()
+	if trialTick.Add(1)&trialSampleMask == 0 {
+		start := time.Now()
+		defer func() { trialSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	if cfg.faulty() {
 		return runFaultyTrial(cfg, trial, detailed)
 	}
 	p := cfg.Params
-	scratch := scratchPool.Get().(*trialScratch)
+	scratch := getScratch()
 	defer scratchPool.Put(scratch)
 	rng := scratch.seed(field.DeriveSeed(cfg.Seed, int64(trial)))
 	bounds := geom.Square(p.FieldSide)

@@ -1,0 +1,13 @@
+package sweep
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// Metric handles are resolved once at package init. inflight tracks how
+// many fn calls are currently executing across all Map invocations and
+// inflight.max its high-water mark — together the worker-pool occupancy.
+var (
+	sweepItems       = obs.Default.Counter("sweep.items")
+	sweepErrors      = obs.Default.Counter("sweep.errors")
+	sweepInflight    = obs.Default.Gauge("sweep.inflight")
+	sweepInflightMax = obs.Default.Gauge("sweep.inflight.max")
+)

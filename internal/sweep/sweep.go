@@ -36,7 +36,7 @@ func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, err
 	}
 	if workers == 1 {
 		for i, it := range items {
-			r, err := fn(i, it)
+			r, err := apply(fn, i, it)
 			if err != nil {
 				return nil, err
 			}
@@ -57,7 +57,7 @@ func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, err
 				if i >= len(items) || failed.Load() {
 					return
 				}
-				r, err := fn(i, items[i])
+				r, err := apply(fn, i, items[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -74,4 +74,16 @@ func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, err
 		}
 	}
 	return out, nil
+}
+
+// apply runs one sweep point with occupancy accounting around the call.
+func apply[T, R any](fn func(int, T) (R, error), i int, item T) (R, error) {
+	sweepItems.Inc()
+	sweepInflightMax.SetMax(sweepInflight.Add(1))
+	r, err := fn(i, item)
+	sweepInflight.Add(-1)
+	if err != nil {
+		sweepErrors.Inc()
+	}
+	return r, err
 }

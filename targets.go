@@ -59,8 +59,8 @@ func AnalyzeT(p Params, opt TOptions) (*TResult, error) {
 // LatencyCDF is the analytical distribution of detection delay.
 type LatencyCDF = detect.LatencyCDF
 
-// Latency computes P[detected by period m] for m = ms+1..M: the time
-// profile of the K-of-M rule, whose final point is the paper's detection
+// Latency computes P[detected by period m] for m = 1..M: the time profile
+// of the K-of-M rule, whose final point is the paper's detection
 // probability.
 func Latency(p Params, opt MSOptions) (LatencyCDF, error) {
 	return detect.DetectionLatency(p, opt)
