@@ -65,6 +65,9 @@ func run(args []string) (err error) {
 			err = cerr
 		}
 	}()
+	// LIFO: RecordOutcome classifies err into the manifest status before
+	// Close stamps and writes the manifest.
+	defer func() { sess.RecordOutcome(err) }()
 	p := gbd.Params{
 		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
 		Pd: *pd, M: *m, K: *k,

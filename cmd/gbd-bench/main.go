@@ -74,6 +74,9 @@ func run(args []string) (err error) {
 			err = cerr
 		}
 	}()
+	// LIFO: RecordOutcome classifies err into the manifest status before
+	// Close stamps and writes the manifest.
+	defer func() { sess.RecordOutcome(err) }()
 	var results []Result
 	for _, bm := range benchmarks {
 		if *match != "" && !strings.Contains(bm.name, *match) {

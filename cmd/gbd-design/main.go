@@ -65,6 +65,9 @@ func run(args []string) (err error) {
 			err = cerr
 		}
 	}()
+	// LIFO: RecordOutcome classifies err into the manifest status before
+	// Close stamps and writes the manifest.
+	defer func() { sess.RecordOutcome(err) }()
 	sess.SetSeed(*seed)
 
 	p := gbd.Params{

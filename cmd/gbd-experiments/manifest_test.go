@@ -28,4 +28,33 @@ func TestMetricsManifest(t *testing.T) {
 	if n := m.Metrics.Counters["experiments.runs"]; n < 1 {
 		t.Errorf("experiments.runs = %d, want >= 1", n)
 	}
+	if m.Status != obs.StatusOK {
+		t.Errorf("status = %q, want %q", m.Status, obs.StatusOK)
+	}
+}
+
+// TestManifestRecordsFailure: a failing run must leave a "failed" manifest
+// with the error recorded, not a phantom "ok".
+func TestManifestRecordsFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := run([]string{"-exp", "nope", "-quick", "-metrics-out", path}); err == nil {
+		t.Fatal("expected an unknown-experiment error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != obs.StatusFailed {
+		t.Errorf("status = %q, want %q", m.Status, obs.StatusFailed)
+	}
+	if m.Error == "" {
+		t.Error("failed manifest has no error message")
+	}
 }

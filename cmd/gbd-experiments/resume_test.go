@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/checkpoint"
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+// runMainEnv re-executes this test binary as the gbd-experiments CLI: the
+// value is the US-separated (0x1f) argument list for run(). The SIGINT test needs
+// a real subprocess so the signal exercises the production handler path.
+const runMainEnv = "GBD_EXPERIMENTS_RUN_MAIN"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(runMainEnv); args != "" {
+		if err := run(strings.Split(args, "\x1f")); err != nil {
+			fmt.Fprintln(os.Stderr, "gbd-experiments:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// fig9aPoints counts completed fig9a sweep points in the checkpoint file; 0
+// when the file does not exist yet. Atomic persistence guarantees any file
+// that exists decodes completely.
+func fig9aPoints(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	points, err := checkpoint.Decode(data, "")
+	if err != nil {
+		t.Fatalf("checkpoint on disk does not decode: %v", err)
+	}
+	n := 0
+	for key := range points {
+		if strings.HasPrefix(key, "fig9a/") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSigintCheckpointResume is the end-to-end resilience contract: a real
+// SIGINT mid-sweep leaves a valid checkpoint and an "interrupted" manifest,
+// and -resume completes the campaign byte-identically to an uninterrupted
+// run while executing only the points that never finished.
+func TestSigintCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and interrupts a full fig9a campaign")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	manifest := filepath.Join(dir, "manifest.json")
+	campaign := []string{"-exp", "fig9a", "-trials", "6000", "-seed", "11", "-sweep-workers", "1", "-checkpoint", ckpt}
+
+	childArgs := append(append([]string{}, campaign...),
+		"-metrics-out", manifest, "-out", filepath.Join(dir, "out-interrupted"))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), runMainEnv+"="+strings.Join(childArgs, "\x1f"))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt as soon as at least one point has been checkpointed, so the
+	// kill is guaranteed to land mid-campaign with work both done and left.
+	deadline := time.Now().Add(90 * time.Second)
+	for fig9aPoints(t, ckpt) == 0 {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint point appeared in time; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatalf("interrupted run exited zero (campaign finished before the signal landed; raise -trials); stderr:\n%s", stderr.String())
+	}
+	interrupted := fig9aPoints(t, ckpt)
+	if interrupted < 1 {
+		t.Fatalf("checkpoint holds %d points after SIGINT, want >= 1", interrupted)
+	}
+
+	// The manifest must record the interruption, not pretend success.
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != obs.StatusInterrupted {
+		t.Errorf("manifest status = %q, want %q (error: %q)", m.Status, obs.StatusInterrupted, m.Error)
+	}
+	if m.Error == "" {
+		t.Error("interrupted manifest has no error message")
+	}
+
+	// Uninterrupted reference run (no checkpoint, different worker count:
+	// the output contract says neither may change a byte).
+	outClean := filepath.Join(dir, "out-clean")
+	if err := run([]string{"-exp", "fig9a", "-trials", "6000", "-seed", "11", "-sweep-workers", "2", "-out", outClean}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume in-process (same build, so the fingerprint matches) and count
+	// executed sweep points via the metrics the sweep engine maintains.
+	before := obs.Default.Snapshot().Counters["sweep.items"]
+	outResumed := filepath.Join(dir, "out-resumed")
+	resumeArgs := append(append([]string{}, campaign...), "-resume", "-out", outResumed)
+	if err := run(resumeArgs); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	executed := obs.Default.Snapshot().Counters["sweep.items"] - before
+	total := fig9aPoints(t, ckpt)
+	if want := uint64(total - interrupted); executed != want {
+		t.Errorf("resume executed %d sweep points, want %d (%d of %d were checkpointed)",
+			executed, want, interrupted, total)
+	}
+
+	clean, err := os.ReadFile(filepath.Join(outClean, "fig9a.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(filepath.Join(outResumed, "fig9a.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, resumed) {
+		t.Errorf("resumed output differs from the uninterrupted run:\n--- clean ---\n%s--- resumed ---\n%s", clean, resumed)
+	}
+}
+
+// TestResumeRequiresCheckpoint: -resume without -checkpoint is a usage
+// error, and resuming against a different campaign refuses the checkpoint.
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	if err := run([]string{"-exp", "fig8", "-quick", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint should fail")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	if err := run([]string{"-exp", "fig8", "-quick", "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	// Different -trials => different fingerprint => stale checkpoint.
+	err := run([]string{"-exp", "fig8", "-quick", "-trials", "777", "-checkpoint", ckpt, "-resume"})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("stale checkpoint not refused: %v", err)
+	}
+}

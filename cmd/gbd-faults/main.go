@@ -6,6 +6,11 @@
 // effective report probability Pd' = Pd*p_deliver through the unmodified
 // M-S-approach.
 //
+// The sweeps are resilient: Ctrl-C stops cleanly after the in-flight
+// points, -checkpoint records each completed point for -resume, failed
+// points can be retried (-point-retries) or skipped (-keep-going, which
+// renders "failed" rows and keeps the rest of the curve).
+//
 // Usage:
 //
 //	gbd-faults [flags]
@@ -17,17 +22,22 @@
 //	gbd-faults -loss-sweep -comm-range 6000       # per-hop loss degradation
 //	gbd-faults -hazard 0.05                       # battery hazard scenario
 //	gbd-faults -blob-radius 12000                 # correlated blob failure
+//	gbd-faults -checkpoint run.ckpt -resume       # continue an interrupted sweep
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"time"
 
 	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/checkpoint"
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/netsim"
@@ -40,6 +50,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gbd-faults:", err)
 		os.Exit(1)
 	}
+}
+
+// sweepEnv carries the resilience machinery (context, policy, checkpoint,
+// failure observer) from flag parsing into the sweep runners.
+type sweepEnv struct {
+	ctx     context.Context
+	workers int
+	policy  sweep.Options
+	store   *checkpoint.Store
+	onError func(point string, attempt int, err error)
 }
 
 func run(args []string, w io.Writer) (err error) {
@@ -70,6 +90,13 @@ func run(args []string, w io.Writer) (err error) {
 		retries   = fs.Int("retries", 2, "retransmissions per hop")
 		backoff   = fs.Duration("backoff", 5*time.Second, "base retransmission backoff (doubles per retry)")
 		budget    = fs.Duration("budget", 0, "delivery latency budget (0 = one sensing period)")
+
+		ckptPath     = fs.String("checkpoint", "", "record completed sweep points in this file for crash/interrupt recovery")
+		resume       = fs.Bool("resume", false, "resume from an existing -checkpoint file (refuses stale checkpoints)")
+		pointRetries = fs.Int("point-retries", 0, "re-attempts per failed sweep point (jittered exponential backoff)")
+		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between point retries")
+		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
+		keepGoing    = fs.Bool("keep-going", false, "finish the sweep past point failures and render 'failed' rows")
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +111,12 @@ func run(args []string, w io.Writer) (err error) {
 			err = cerr
 		}
 	}()
+	// LIFO: RecordOutcome classifies err into the manifest status before
+	// Close stamps and writes the manifest.
+	defer func() { sess.RecordOutcome(err) }()
+	ctx, cancel := sess.SignalContext(context.Background())
+	defer cancel()
+
 	p := gbd.Params{
 		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
 		Pd: *pd, M: *m, K: *k,
@@ -106,24 +139,143 @@ func run(args []string, w io.Writer) (err error) {
 	if loss.Budget == 0 {
 		loss.Budget = p.T
 	}
+
+	env := sweepEnv{
+		ctx:     ctx,
+		workers: *sweepW,
+		policy: sweep.Options{
+			Retries:      *pointRetries,
+			Backoff:      *retryBackoff,
+			PointTimeout: *pointTimeout,
+			Degrade:      *keepGoing,
+		},
+		onError: func(point string, attempt int, perr error) {
+			sess.SetFailedPoint(point)
+			fmt.Fprintf(os.Stderr, "point %s attempt %d failed: %v\n", point, attempt+1, perr)
+		},
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckptPath != "" {
+		// Everything that shapes results goes into the identity; execution
+		// knobs (workers, retry policy, keep-going) deliberately do not.
+		fp, err := checkpoint.Fingerprint("gbd-faults", struct {
+			Params    gbd.Params
+			Trials    int
+			MaxDead   float64
+			DeadSteps int
+			LossSweep bool
+			MaxLoss   float64
+			CommRange float64
+			Loss      netsim.LossModel
+		}{p, *trials, *maxDead, *deadSteps, *lossSweep, *maxLoss, *commRange, loss}, *seed)
+		if err != nil {
+			return err
+		}
+		if *resume {
+			env.store, err = checkpoint.Resume(*ckptPath, fp)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "resuming: %d completed points restored from %s\n", env.store.Len(), *ckptPath)
+		} else {
+			env.store, err = checkpoint.Create(*ckptPath, fp)
+			if err != nil {
+				return err
+			}
+		}
+		defer func() {
+			if ferr := env.store.Flush(); err == nil {
+				err = ferr
+			}
+		}()
+	}
+
 	switch {
 	case *hazard > 0:
-		return runScenario(w, base, faults.Lifetime{Hazard: *hazard},
+		return runScenario(ctx, w, base, faults.Lifetime{Hazard: *hazard},
 			fmt.Sprintf("battery hazard %.3f per period", *hazard))
 	case *blob > 0:
-		return runScenario(w, base, faults.Blob{Radius: *blob},
+		return runScenario(ctx, w, base, faults.Blob{Radius: *blob},
 			fmt.Sprintf("correlated blob failure, radius %.0f m", *blob))
 	case *lossSweep:
-		return runLossSweep(w, base, loss, *commRange, *maxLoss, *deadSteps, *sweepW)
+		return runLossSweep(env, w, base, loss, *commRange, *maxLoss, *deadSteps)
 	default:
-		return runDeadSweep(w, base, *maxDead, *deadSteps, *sweepW)
+		return runDeadSweep(env, w, base, *maxDead, *deadSteps)
 	}
+}
+
+// resilientSweep runs fn over items under env's fault policy: checkpointed
+// points are restored without executing, completed points persist before
+// the sweep moves on, and in Degrade mode failures leave their done flag
+// false instead of aborting. Results come back in input order either way.
+func resilientSweep[T, R any](env sweepEnv, name string, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, []bool, error) {
+	key := func(i int) string { return name + "/" + strconv.Itoa(i) }
+	results := make([]R, len(items))
+	done := make([]bool, len(items))
+	var pending []int
+	for i := range items {
+		if env.store != nil {
+			ok, err := env.store.Get(key(i), &results[i])
+			if err != nil {
+				return results, done, err
+			}
+			if ok {
+				done[i] = true
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return results, done, env.ctx.Err()
+	}
+	sopt := env.policy
+	sopt.Workers = env.workers
+	if env.onError != nil {
+		sopt.OnPointError = func(j, attempt int, err error) {
+			env.onError(key(pending[j]), attempt, err)
+		}
+	}
+	rep, err := sweep.Run(env.ctx, sopt, pending, func(ctx context.Context, _ int, i int) (R, error) {
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return r, err
+		}
+		if env.store != nil {
+			if perr := env.store.Put(key(i), r); perr != nil {
+				return r, fmt.Errorf("persist %s: %w", key(i), perr)
+			}
+		}
+		return r, nil
+	})
+	for j, i := range pending {
+		if rep.Done[j] {
+			results[i] = rep.Results[j]
+			done[i] = true
+		}
+	}
+	if err != nil {
+		var pe *sweep.PointError
+		if errors.As(err, &pe) {
+			return results, done, fmt.Errorf("%s: %w", key(pending[pe.Index]), pe.Err)
+		}
+		return results, done, err
+	}
+	return results, done, nil
+}
+
+// deadPoint is one row of the dead-fraction sweep. Fields are exported so
+// the point survives a checkpoint JSON round-trip.
+type deadPoint struct {
+	Alive, Ana, Sim float64
 }
 
 // runDeadSweep prints the degradation curve over the node-failure fraction:
 // the fault-injection simulator against the analytical effective-density
 // mirror, with a sim-vs-analysis agreement summary.
-func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps, sweepWorkers int) error {
+func runDeadSweep(env sweepEnv, w io.Writer, base gbd.SimConfig, maxDead float64, steps int) error {
 	if steps < 1 {
 		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
 	}
@@ -136,10 +288,7 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps, sweep
 	for i := range fracs {
 		fracs[i] = maxDead * float64(i) / float64(steps)
 	}
-	type deadPoint struct {
-		alive, ana, sim float64
-	}
-	points, err := sweep.Map(sweepWorkers, fracs, func(_ int, f float64) (deadPoint, error) {
+	points, done, err := resilientSweep(env, "dead", fracs, func(ctx context.Context, _ int, f float64) (deadPoint, error) {
 		ana, err := detect.Degraded(base.Params, f, 1, detect.MSOptions{})
 		if err != nil {
 			return deadPoint{}, err
@@ -148,7 +297,7 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps, sweep
 		if f > 0 {
 			cfg.Faults = faults.Bernoulli{DeadFrac: f}
 		}
-		res, err := gbd.Simulate(cfg)
+		res, err := gbd.SimulateCtx(ctx, cfg)
 		if err != nil {
 			return deadPoint{}, err
 		}
@@ -156,7 +305,7 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps, sweep
 		if f > 0 {
 			alive = res.Faults.MeanAliveFrac
 		}
-		return deadPoint{alive: alive, ana: ana.DetectionProb, sim: res.DetectionProb}, nil
+		return deadPoint{Alive: alive, Ana: ana.DetectionProb, Sim: res.DetectionProb}, nil
 	})
 	if err != nil {
 		return err
@@ -165,27 +314,43 @@ func runDeadSweep(w io.Writer, base gbd.SimConfig, maxDead float64, steps, sweep
 	// results after the parallel collection.
 	maxDiff, prev := 0.0, math.Inf(1)
 	monotone := true
+	failed := 0
 	for i, pt := range points {
-		diff := math.Abs(pt.ana - pt.sim)
+		if !done[i] {
+			fmt.Fprintf(w, "%-10.2f  %-10s  %-9s  %-9s  %-7s\n", fracs[i], "failed", "-", "-", "-")
+			failed++
+			continue
+		}
+		diff := math.Abs(pt.Ana - pt.Sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
-		if pt.sim > prev+0.02 {
+		if pt.Sim > prev+0.02 {
 			monotone = false
 		}
-		prev = pt.sim
+		prev = pt.Sim
 		fmt.Fprintf(w, "%-10.2f  %-10.4f  %-9.4f  %-9.4f  %-7.4f\n",
-			fracs[i], pt.alive, pt.ana, pt.sim, diff)
+			fracs[i], pt.Alive, pt.Ana, pt.Sim, diff)
 	}
 	fmt.Fprintf(w, "max |analysis - sim| = %.4f\n", maxDiff)
 	fmt.Fprintf(w, "sim detection monotone non-increasing: %v\n", monotone)
+	if failed > 0 {
+		fmt.Fprintf(w, "WARNING: %d of %d points failed and were skipped (-keep-going)\n", failed, len(points))
+	}
 	return nil
+}
+
+// lossPoint is one row of the per-hop loss sweep. Fields are exported so
+// the point survives a checkpoint JSON round-trip.
+type lossPoint struct {
+	Arrived, Ana, Sim float64
+	Rerouted          int
 }
 
 // runLossSweep prints the degradation curve over the per-hop loss rate. The
 // analysis has no multi-hop model, so each row feeds the simulator's own
 // measured arrived-report fraction into the thinning mirror Pd' = Pd*p.
-func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRange, maxLoss float64, steps, sweepWorkers int) error {
+func runLossSweep(env sweepEnv, w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRange, maxLoss float64, steps int) error {
 	if steps < 1 {
 		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
 	}
@@ -200,16 +365,12 @@ func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRa
 	for i := range rates {
 		rates[i] = maxLoss * float64(i) / float64(steps)
 	}
-	type lossPoint struct {
-		arrived, ana, sim float64
-		rerouted          int
-	}
-	points, err := sweep.Map(sweepWorkers, rates, func(_ int, rate float64) (lossPoint, error) {
+	points, done, err := resilientSweep(env, "loss", rates, func(ctx context.Context, _ int, rate float64) (lossPoint, error) {
 		cfg := base
 		cfg.CommRange = commRange
 		cfg.Loss = loss
 		cfg.Loss.PerHopDelivery = 1 - rate
-		res, err := gbd.Simulate(cfg)
+		res, err := gbd.SimulateCtx(ctx, cfg)
 		if err != nil {
 			return lossPoint{}, err
 		}
@@ -218,34 +379,43 @@ func runLossSweep(w io.Writer, base gbd.SimConfig, loss netsim.LossModel, commRa
 		if err != nil {
 			return lossPoint{}, err
 		}
-		return lossPoint{arrived: arrived, ana: ana.DetectionProb, sim: res.DetectionProb, rerouted: res.Faults.Rerouted}, nil
+		return lossPoint{Arrived: arrived, Ana: ana.DetectionProb, Sim: res.DetectionProb, Rerouted: res.Faults.Rerouted}, nil
 	})
 	if err != nil {
 		return err
 	}
 	maxDiff := 0.0
+	failed := 0
 	for i, pt := range points {
-		diff := math.Abs(pt.ana - pt.sim)
+		if !done[i] {
+			fmt.Fprintf(w, "%-9.2f  %-12s  %-8s  %-9s  %-9s  %-7s\n", rates[i], "failed", "-", "-", "-", "-")
+			failed++
+			continue
+		}
+		diff := math.Abs(pt.Ana - pt.Sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
 		fmt.Fprintf(w, "%-9.2f  %-12.4f  %-8d  %-9.4f  %-9.4f  %-7.4f\n",
-			rates[i], pt.arrived, pt.rerouted, pt.ana, pt.sim, diff)
+			rates[i], pt.Arrived, pt.Rerouted, pt.Ana, pt.Sim, diff)
 	}
 	fmt.Fprintf(w, "max |analysis - sim| = %.4f (analysis uses measured arrived_frac)\n", maxDiff)
+	if failed > 0 {
+		fmt.Fprintf(w, "WARNING: %d of %d points failed and were skipped (-keep-going)\n", failed, len(points))
+	}
 	return nil
 }
 
 // runScenario runs one fault model (hazard or blob) against the fault-free
 // baseline and reports the detection hit alongside the fault accounting.
-func runScenario(w io.Writer, base gbd.SimConfig, model faults.Model, label string) error {
-	healthy, err := gbd.Simulate(base)
+func runScenario(ctx context.Context, w io.Writer, base gbd.SimConfig, model faults.Model, label string) error {
+	healthy, err := gbd.SimulateCtx(ctx, base)
 	if err != nil {
 		return err
 	}
 	cfg := base
 	cfg.Faults = model
-	res, err := gbd.Simulate(cfg)
+	res, err := gbd.SimulateCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}

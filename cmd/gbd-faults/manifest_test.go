@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -21,5 +22,39 @@ func TestMetricsManifest(t *testing.T) {
 	}
 	if err := obs.ValidateManifestJSON(data); err != nil {
 		t.Error(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != obs.StatusOK {
+		t.Errorf("status = %q, want %q", m.Status, obs.StatusOK)
+	}
+}
+
+// TestManifestRecordsFailure: invalid options fail the run and the manifest
+// must say so.
+func TestManifestRecordsFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	args := []string{"-trials", "100", "-dead-steps", "0", "-metrics-out", path}
+	if err := run(args, io.Discard); err == nil {
+		t.Fatal("expected a validation error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateManifestJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != obs.StatusFailed {
+		t.Errorf("status = %q, want %q", m.Status, obs.StatusFailed)
+	}
+	if m.Error == "" {
+		t.Error("failed manifest has no error message")
 	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+// TestCheckpointResumeByteIdentical: a resumed dead-fraction sweep restores
+// every checkpointed point without executing it and prints exactly what the
+// uninterrupted run printed.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	args := []string{"-trials", "300", "-dead-steps", "3", "-max-dead", "0.3", "-seed", "9"}
+
+	var clean bytes.Buffer
+	if err := run(args, &clean); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := run(append(append([]string{}, args...), "-checkpoint", ckpt), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != clean.String() {
+		t.Errorf("checkpointing changed the output:\n%s\nvs\n%s", first.String(), clean.String())
+	}
+
+	before := obs.Default.Snapshot().Counters["sweep.items"]
+	var resumed bytes.Buffer
+	if err := run(append(append([]string{}, args...), "-checkpoint", ckpt, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if after := obs.Default.Snapshot().Counters["sweep.items"]; after != before {
+		t.Errorf("fully-checkpointed resume still executed points: sweep.items %d -> %d", before, after)
+	}
+	if resumed.String() != clean.String() {
+		t.Errorf("resumed output differs:\n--- clean ---\n%s--- resumed ---\n%s", clean.String(), resumed.String())
+	}
+}
+
+// TestLossSweepResume covers the second sweep family's checkpoint keys.
+func TestLossSweepResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	args := []string{"-loss-sweep", "-trials", "200", "-dead-steps", "2", "-max-loss", "0.4", "-seed", "4"}
+	var first bytes.Buffer
+	if err := run(append(append([]string{}, args...), "-checkpoint", ckpt), &first); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bytes.Buffer
+	if err := run(append(append([]string{}, args...), "-checkpoint", ckpt, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != first.String() {
+		t.Errorf("resumed loss sweep differs:\n%s\nvs\n%s", resumed.String(), first.String())
+	}
+}
+
+// TestResumeRefusesOtherCampaign: any result-shaping flag change (here the
+// seed) invalidates the fingerprint and the resume must refuse.
+func TestResumeRefusesOtherCampaign(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	base := []string{"-trials", "100", "-dead-steps", "2", "-max-dead", "0.2"}
+	var out bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-seed", "1", "-checkpoint", ckpt), &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(append([]string{}, base...), "-seed", "2", "-checkpoint", ckpt, "-resume"), &out)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("stale checkpoint not refused: %v", err)
+	}
+	if err := run(append(append([]string{}, base...), "-resume"), &out); err == nil {
+		t.Error("-resume without -checkpoint should fail")
+	}
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -66,6 +67,11 @@ func run(args []string) (err error) {
 			err = cerr
 		}
 	}()
+	// LIFO: RecordOutcome classifies err into the manifest status before
+	// Close stamps and writes the manifest.
+	defer func() { sess.RecordOutcome(err) }()
+	ctx, cancel := sess.SignalContext(context.Background())
+	defer cancel()
 	p := gbd.Params{
 		N: *n, FieldSide: *side, Rs: *rs, V: *v, T: *period,
 		Pd: *pd, M: *m, K: *k,
@@ -100,7 +106,7 @@ func run(args []string) (err error) {
 	sess.SetSeed(*seed)
 
 	start := time.Now()
-	res, err := gbd.Simulate(cfg)
+	res, err := gbd.SimulateCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -32,4 +32,7 @@ func TestMetricsManifest(t *testing.T) {
 	if n := m.Metrics.Counters["sim.trials"]; n < 50 {
 		t.Errorf("sim.trials = %d, want >= 50", n)
 	}
+	if m.Status != obs.StatusOK {
+		t.Errorf("status = %q, want %q", m.Status, obs.StatusOK)
+	}
 }

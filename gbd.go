@@ -39,6 +39,8 @@
 package gbd
 
 import (
+	"context"
+
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/dist"
 	"github.com/groupdetect/gbd/internal/falsealarm"
@@ -142,6 +144,12 @@ func SinglePeriodTail(p Params, k int) (float64, error) {
 
 // Simulate runs the Monte Carlo event-detection simulator.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateCtx is Simulate under a context: cancellation stops the campaign
+// early with ctx.Err(); a run that completes is bit-identical to Simulate.
+func SimulateCtx(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	return sim.RunCtx(ctx, cfg)
+}
 
 // SimulateTrial runs one fully detailed simulation trial (deployment,
 // track, per-period report counts).

@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the checkpoint codec: it must never
+// panic, and anything it accepts must re-encode to a checkpoint that decodes
+// to the same point set (a full round-trip). Seeds cover the valid shape and
+// the near-miss corruptions the unit tests check explicitly.
+func FuzzDecode(f *testing.F) {
+	valid, err := Encode("fp-fuzz", map[string]json.RawMessage{
+		"fig8/0": json.RawMessage(`{"v":0.123456789012345,"n":60}`),
+		"fig8/1": json.RawMessage(`[1,2,3]`),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"version": 1, "fingerprint": "fp-fuzz", "points": {}}`))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte{}, valid...), '{', '}'))
+	f.Add([]byte(`{"version": 2, "fingerprint": "fp-fuzz", "points": {}}`))
+	f.Add([]byte(`{"version": 1, "fingerprint": "other", "points": {}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := Decode(data, "fp-fuzz")
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("decode error outside the sentinel taxonomy: %v", err)
+			}
+			return
+		}
+		// Accepted input: it must survive an encode/decode round trip with
+		// the point set intact.
+		re, err := Encode("fp-fuzz", pts)
+		if err != nil {
+			t.Fatalf("re-encode of accepted checkpoint failed: %v", err)
+		}
+		pts2, err := Decode(re, "fp-fuzz")
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if len(pts2) != len(pts) {
+			t.Fatalf("round trip changed point count: %d -> %d", len(pts), len(pts2))
+		}
+		for k, v := range pts {
+			v2, ok := pts2[k]
+			if !ok {
+				t.Fatalf("round trip lost key %q", k)
+			}
+			var a, b any
+			if json.Unmarshal(v, &a) == nil && json.Unmarshal(v2, &b) == nil {
+				ja, _ := json.Marshal(a)
+				jb, _ := json.Marshal(b)
+				if !bytes.Equal(ja, jb) {
+					t.Fatalf("round trip changed value for %q: %s -> %s", k, v, v2)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -9,7 +10,6 @@ import (
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sim"
-	"github.com/groupdetect/gbd/internal/sweep"
 )
 
 // deadFracSweep is the node-failure sweep for the degradation experiment:
@@ -57,14 +57,14 @@ func Degradation(opt Options) (*Table, error) {
 	}
 	fracs := deadFracSweep(opt.Quick)
 	type degPoint struct {
-		aliveFrac, ana, sim float64
+		AliveFrac, Ana, Sim float64
 	}
-	points, err := sweep.Map(opt.SweepWorkers, fracs, func(_ int, f float64) (degPoint, error) {
+	points, err := sweepPoints(opt, "degradation", fracs, func(ctx context.Context, _ int, f float64) (degPoint, error) {
 		ana, err := detect.Degraded(p, f, 1, detect.MSOptions{Gh: 4, G: 4})
 		if err != nil {
 			return degPoint{}, err
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunCtx(ctx, sim.Config{
 			Params: p,
 			Trials: trials,
 			Seed:   opt.Seed,
@@ -73,7 +73,7 @@ func Degradation(opt Options) (*Table, error) {
 		if err != nil {
 			return degPoint{}, err
 		}
-		return degPoint{aliveFrac: res.Faults.MeanAliveFrac, ana: ana.DetectionProb, sim: res.DetectionProb}, nil
+		return degPoint{AliveFrac: res.Faults.MeanAliveFrac, Ana: ana.DetectionProb, Sim: res.DetectionProb}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -84,15 +84,15 @@ func Degradation(opt Options) (*Table, error) {
 	prev := math.Inf(1)
 	monotone := true
 	for i, pt := range points {
-		diff := math.Abs(pt.ana - pt.sim)
+		diff := math.Abs(pt.Ana - pt.Sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
-		if pt.sim > prev+0.02 {
+		if pt.Sim > prev+0.02 {
 			monotone = false
 		}
-		prev = pt.sim
-		t.AddRow(fracs[i], pt.aliveFrac, pt.ana, pt.sim, diff)
+		prev = pt.Sim
+		t.AddRow(fracs[i], pt.AliveFrac, pt.Ana, pt.Sim, diff)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("max |analysis - sim| = %.4f over the sweep", maxDiff),
@@ -126,11 +126,11 @@ func LossDegradation(opt Options) (*Table, error) {
 	}
 	losses := lossSweep(opt.Quick)
 	type lossPoint struct {
-		arrived, ana, sim float64
-		rerouted          int
+		Arrived, Ana, Sim float64
+		Rerouted          int
 	}
-	points, err := sweep.Map(opt.SweepWorkers, losses, func(_ int, loss float64) (lossPoint, error) {
-		res, err := sim.Run(sim.Config{
+	points, err := sweepPoints(opt, "lossdeg", losses, func(ctx context.Context, _ int, loss float64) (lossPoint, error) {
+		res, err := sim.RunCtx(ctx, sim.Config{
 			Params:    p,
 			Trials:    trials,
 			Seed:      opt.Seed,
@@ -151,7 +151,7 @@ func LossDegradation(opt Options) (*Table, error) {
 		if err != nil {
 			return lossPoint{}, err
 		}
-		return lossPoint{arrived: arrived, ana: ana.DetectionProb, sim: res.DetectionProb, rerouted: res.Faults.Rerouted}, nil
+		return lossPoint{Arrived: arrived, Ana: ana.DetectionProb, Sim: res.DetectionProb, Rerouted: res.Faults.Rerouted}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -160,15 +160,15 @@ func LossDegradation(opt Options) (*Table, error) {
 	prev := math.Inf(1)
 	monotone := true
 	for i, pt := range points {
-		diff := math.Abs(pt.ana - pt.sim)
+		diff := math.Abs(pt.Ana - pt.Sim)
 		if diff > maxDiff {
 			maxDiff = diff
 		}
-		if pt.sim > prev+0.02 {
+		if pt.Sim > prev+0.02 {
 			monotone = false
 		}
-		prev = pt.sim
-		t.AddRow(losses[i], pt.arrived, pt.rerouted, pt.ana, pt.sim, diff)
+		prev = pt.Sim
+		t.AddRow(losses[i], pt.Arrived, pt.Rerouted, pt.Ana, pt.Sim, diff)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("max |analysis - sim| = %.4f with measured arrived_frac as p_deliver", maxDiff),

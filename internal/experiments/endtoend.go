@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"github.com/groupdetect/gbd/internal/detect"
@@ -29,13 +30,17 @@ func EndToEnd(opt Options) (*Table, error) {
 			"N", "analysis", "end_to_end", "delivered_frac", "mean_delay_periods",
 		},
 	}
-	for _, n := range nSweep(opt.Quick) {
+	type e2ePoint struct {
+		Ana, Sim, Delivered, MeanDelay float64
+	}
+	ns := nSweep(opt.Quick)
+	points, err := sweepPoints(opt, "endtoend", ns, func(ctx context.Context, _ int, n int) (e2ePoint, error) {
 		p := detect.Defaults().WithN(n)
 		ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3})
 		if err != nil {
-			return nil, err
+			return e2ePoint{}, err
 		}
-		res, err := system.Run(system.Config{
+		res, err := system.RunCtx(ctx, system.Config{
 			Params:    p,
 			CommRange: 6000,
 			PerHop:    10 * time.Second,
@@ -43,9 +48,18 @@ func EndToEnd(opt Options) (*Table, error) {
 			Seed:      opt.Seed + int64(n),
 		})
 		if err != nil {
-			return nil, err
+			return e2ePoint{}, err
 		}
-		t.AddRow(n, ana.DetectionProb, res.DetectionProb, res.DeliveredFrac, res.MeanDeliveryPeriods)
+		return e2ePoint{
+			Ana: ana.DetectionProb, Sim: res.DetectionProb,
+			Delivered: res.DeliveredFrac, MeanDelay: res.MeanDeliveryPeriods,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		t.AddRow(ns[i], pt.Ana, pt.Sim, pt.Delivered, pt.MeanDelay)
 	}
 	t.Notes = append(t.Notes,
 		"where delivered_frac ~ 1 the paper's 'ignore the communication stack' argument is validated;",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,7 +11,6 @@ import (
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sim"
-	"github.com/groupdetect/gbd/internal/sweep"
 )
 
 // Timing reproduces the Section-3.4.5 execution-time comparison (E5): the
@@ -149,6 +149,9 @@ func KMinTable(opt Options) (*Table, error) {
 		trials = 80
 	}
 	for _, pf := range []float64{1e-5, 1e-4, 1e-3} {
+		if err := opt.ctx().Err(); err != nil {
+			return nil, err
+		}
 		m := falsealarm.Model{N: 120, Pf: pf, M: 20}
 		k, err := falsealarm.KMin(m, horizon, 0.01)
 		if err != nil {
@@ -190,32 +193,32 @@ func Boundary(opt Options) (*Table, error) {
 	}
 	ns := nSweep(opt.Quick)
 	type boundaryPoint struct {
-		ana, conf, unconf float64
+		Ana, Conf, Unconf float64
 	}
-	points, err := sweep.Map(opt.SweepWorkers, ns, func(_, n int) (boundaryPoint, error) {
+	points, err := sweepPoints(opt, "boundary", ns, func(ctx context.Context, _ int, n int) (boundaryPoint, error) {
 		p := detect.Defaults().WithN(n)
 		ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3})
 		if err != nil {
 			return boundaryPoint{}, err
 		}
-		conf, err := sim.Run(sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n)})
+		conf, err := sim.RunCtx(ctx, sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n)})
 		if err != nil {
 			return boundaryPoint{}, err
 		}
-		unconf, err := sim.Run(sim.Config{
+		unconf, err := sim.RunCtx(ctx, sim.Config{
 			Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n),
 			Confine: sim.ConfineNone,
 		})
 		if err != nil {
 			return boundaryPoint{}, err
 		}
-		return boundaryPoint{ana: ana.DetectionProb, conf: conf.DetectionProb, unconf: unconf.DetectionProb}, nil
+		return boundaryPoint{Ana: ana.DetectionProb, Conf: conf.DetectionProb, Unconf: unconf.DetectionProb}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, pt := range points {
-		t.AddRow(ns[i], pt.ana, pt.conf, pt.unconf)
+		t.AddRow(ns[i], pt.Ana, pt.Conf, pt.Unconf)
 	}
 	t.Notes = append(t.Notes,
 		"unconfined tracks leave the field and lose reports; the analysis models the confined case")
@@ -242,10 +245,10 @@ func CommCheck(opt Options) (*Table, error) {
 	bounds := geom.Square(32000)
 	center := geom.Point{X: 16000, Y: 16000}
 	type commPoint struct {
-		components int
-		stats      netsim.DeliveryStats
+		Components int
+		Stats      netsim.DeliveryStats
 	}
-	points, err := sweep.Map(opt.SweepWorkers, ns, func(_, n int) (commPoint, error) {
+	points, err := sweepPoints(opt, "comm", ns, func(_ context.Context, _ int, n int) (commPoint, error) {
 		rng := field.NewRand(field.DeriveSeed(opt.Seed, int64(n)))
 		pts, err := field.Uniform(n, bounds, rng)
 		if err != nil {
@@ -265,34 +268,17 @@ func CommCheck(opt Options) (*Table, error) {
 		if err != nil {
 			return commPoint{}, err
 		}
-		return commPoint{components: net.Components(), stats: stats}, nil
+		return commPoint{Components: net.Components(), Stats: stats}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, pt := range points {
-		t.AddRow(ns[i], pt.components, fmt.Sprintf("%d/%d", pt.stats.Reachable, pt.stats.Nodes),
-			pt.stats.MaxHops, pt.stats.MeanHops, pt.stats.GreedyOK, pt.stats.WithinBudget)
+		t.AddRow(ns[i], pt.Components, fmt.Sprintf("%d/%d", pt.Stats.Reachable, pt.Stats.Nodes),
+			pt.Stats.MaxHops, pt.Stats.MeanHops, pt.Stats.GreedyOK, pt.Stats.WithinBudget)
 	}
 	t.Notes = append(t.Notes,
 		"paper assumes ~6 hops complete within one sensing period; this measures it per deployment")
 	return t, nil
 }
 
-// All runs every experiment in DESIGN.md order.
-func All(opt Options) ([]*Table, error) {
-	runners := []func(Options) (*Table, error){
-		Fig8, Fig9a, Fig9b, Fig9c, Timing, ExtensionH, KMinTable, Boundary, CommCheck,
-		Latency, TApproachExplosion, Coverage, EndToEnd, Sensitivities,
-		Degradation, LossDegradation,
-	}
-	tables := make([]*Table, 0, len(runners))
-	for _, run := range runners {
-		tbl, err := run(opt)
-		if err != nil {
-			return tables, err
-		}
-		tables = append(tables, tbl)
-	}
-	return tables, nil
-}

@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/sim"
-	"github.com/groupdetect/gbd/internal/sweep"
 	"github.com/groupdetect/gbd/internal/target"
 )
 
@@ -39,8 +39,11 @@ func Fig8(opt Options) (*Table, error) {
 	for n := 60; n <= 260; n += step {
 		ns = append(ns, n)
 	}
-	type fig8Point struct{ g, gh, gs int }
-	points, err := sweep.Map(opt.SweepWorkers, ns, func(_, n int) (fig8Point, error) {
+	// Exported fields: sweep points round-trip through JSON checkpoints.
+	type fig8Point struct {
+		G, Gh, GS int
+	}
+	points, err := sweepPoints(opt, "fig8", ns, func(_ context.Context, _ int, n int) (fig8Point, error) {
 		p := detect.Defaults().WithN(n)
 		g, err := detect.RequiredBodyG(p, 0.99)
 		if err != nil {
@@ -54,34 +57,35 @@ func Fig8(opt Options) (*Table, error) {
 		if err != nil {
 			return fig8Point{}, err
 		}
-		return fig8Point{g: g, gh: gh, gs: gs}, nil
+		return fig8Point{G: g, Gh: gh, GS: gs}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	maxRatio := 0.0
 	for i, pt := range points {
-		if r := float64(pt.gs) / float64(max(pt.gh, 1)); r > maxRatio {
+		if r := float64(pt.GS) / float64(max(pt.Gh, 1)); r > maxRatio {
 			maxRatio = r
 		}
-		t.AddRow(ns[i], pt.g, pt.gh, pt.gs)
+		t.AddRow(ns[i], pt.G, pt.Gh, pt.GS)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("shape check: G exceeds gh by up to %.1fx; paper reports G >> gh >= g", maxRatio))
 	return t, nil
 }
 
-// fig9Point holds one analysis-vs-simulation comparison point.
+// fig9Point holds one analysis-vs-simulation comparison point. Fields are
+// exported so points survive JSON checkpoint round-trips bit-for-bit.
 type fig9Point struct {
-	v        float64
-	n        int
-	analysis float64
-	simP     float64
-	ciLo     float64
-	ciHi     float64
+	V        float64
+	N        int
+	Analysis float64
+	Sim      float64
+	CILo     float64
+	CIHi     float64
 }
 
-func runFig9Sweep(opt Options, normalize bool, model func(p detect.Params) target.Model) ([]fig9Point, error) {
+func runFig9Sweep(opt Options, exp string, normalize bool, model func(p detect.Params) target.Model) ([]fig9Point, error) {
 	// Flatten the (V, N) grid so every point is one independent sweep
 	// unit; each derives its campaign seed from its own (v, n), so the
 	// parallel map returns exactly what the nested sequential loops did.
@@ -95,7 +99,7 @@ func runFig9Sweep(opt Options, normalize bool, model func(p detect.Params) targe
 			grid = append(grid, gridPoint{v: v, n: n})
 		}
 	}
-	return sweep.Map(opt.SweepWorkers, grid, func(_ int, gp gridPoint) (fig9Point, error) {
+	return sweepPoints(opt, exp, grid, func(ctx context.Context, _ int, gp gridPoint) (fig9Point, error) {
 		p := detect.Defaults().WithN(gp.n).WithV(gp.v)
 		ana, err := detect.MSApproach(p, detect.MSOptions{Gh: 3, G: 3, NoNormalize: !normalize})
 		if err != nil {
@@ -109,16 +113,16 @@ func runFig9Sweep(opt Options, normalize bool, model func(p detect.Params) targe
 		if model != nil {
 			cfg.Model = model(p)
 		}
-		res, err := sim.Run(cfg)
+		res, err := sim.RunCtx(ctx, cfg)
 		if err != nil {
 			return fig9Point{}, err
 		}
 		return fig9Point{
-			v: gp.v, n: gp.n,
-			analysis: ana.DetectionProb,
-			simP:     res.DetectionProb,
-			ciLo:     res.CI.Lo,
-			ciHi:     res.CI.Hi,
+			V: gp.v, N: gp.n,
+			Analysis: ana.DetectionProb,
+			Sim:      res.DetectionProb,
+			CILo:     res.CI.Lo,
+			CIHi:     res.CI.Hi,
 		}, nil
 	})
 }
@@ -131,11 +135,11 @@ func fig9Table(id, title string, points []fig9Point) *Table {
 	}
 	maxErr := 0.0
 	for _, pt := range points {
-		err := math.Abs(pt.analysis - pt.simP)
+		err := math.Abs(pt.Analysis - pt.Sim)
 		if err > maxErr {
 			maxErr = err
 		}
-		t.AddRow(pt.v, pt.n, pt.analysis, pt.simP, pt.ciLo, pt.ciHi, err)
+		t.AddRow(pt.V, pt.N, pt.Analysis, pt.Sim, pt.CILo, pt.CIHi, err)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("max |analysis - simulation| = %.4f", maxErr))
 	return t
@@ -148,7 +152,7 @@ func Fig9a(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := runFig9Sweep(opt, true, nil)
+	points, err := runFig9Sweep(opt, "fig9a", true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -157,11 +161,11 @@ func Fig9a(opt Options) (*Table, error) {
 	for _, n := range nSweep(opt.Quick) {
 		var slow, fast float64
 		for _, pt := range points {
-			if pt.n == n && pt.v == 4 {
-				slow = pt.simP
+			if pt.N == n && pt.V == 4 {
+				slow = pt.Sim
 			}
-			if pt.n == n && pt.v == 10 {
-				fast = pt.simP
+			if pt.N == n && pt.V == 10 {
+				fast = pt.Sim
 			}
 		}
 		if fast < slow {
@@ -179,7 +183,7 @@ func Fig9b(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := runFig9Sweep(opt, false, nil)
+	points, err := runFig9Sweep(opt, "fig9b", false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -187,12 +191,12 @@ func Fig9b(opt Options) (*Table, error) {
 	t.ID = "fig9b"
 	var last fig9Point
 	for _, pt := range points {
-		if pt.v == 10 && pt.n == 240 {
+		if pt.V == 10 && pt.N == 240 {
 			last = pt
 		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
-		"error at N=240, V=10: %.4f (paper: above 4%%; equals ~1 - etaMS)", last.simP-last.analysis))
+		"error at N=240, V=10: %.4f (paper: above 4%%; equals ~1 - etaMS)", last.Sim-last.Analysis))
 	return t, nil
 }
 
@@ -203,7 +207,7 @@ func Fig9c(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := runFig9Sweep(opt, true, func(p detect.Params) target.Model {
+	points, err := runFig9Sweep(opt, "fig9c", true, func(p detect.Params) target.Model {
 		return target.RandomWalk{Step: p.Vt(), MaxTurn: math.Pi / 4}
 	})
 	if err != nil {
@@ -212,7 +216,7 @@ func Fig9c(opt Options) (*Table, error) {
 	t := fig9Table("fig9c", "Straight-line analysis vs random-walk simulation", points)
 	above := 0
 	for _, pt := range points {
-		if pt.simP > pt.analysis+0.01 {
+		if pt.Sim > pt.Analysis+0.01 {
 			above++
 		}
 	}

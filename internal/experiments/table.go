@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/checkpoint"
 )
 
 // ErrExperiment reports invalid experiment options.
@@ -28,12 +32,46 @@ type Options struct {
 	// at any setting (each point derives its rng stream from its own
 	// parameters), only wall-clock changes.
 	SweepWorkers int
+
+	// Ctx, when non-nil, lets callers cancel a running experiment: sweeps
+	// stop dispatching points and trial loops unwind within a bounded
+	// number of trials. Nil means Background. Excluded from manifests (it
+	// is runtime state, not a parameter).
+	Ctx context.Context `json:"-"`
+	// Checkpoint, when non-nil, records every completed sweep point (and
+	// finished table) so an interrupted campaign resumes without repeating
+	// work. Restored points are not re-executed, which is observable in the
+	// sweep.items metric. Excluded from manifests.
+	Checkpoint *checkpoint.Store `json:"-"`
+	// Retries, RetryBackoff and PointTimeout are the sweep fault policy:
+	// how many times a failed sweep point is re-attempted, the base for its
+	// jittered exponential backoff, and the per-attempt deadline (0 = no
+	// deadline). They shape execution, not results, so they are recorded in
+	// manifests but excluded from checkpoint fingerprints.
+	Retries      int
+	RetryBackoff time.Duration
+	PointTimeout time.Duration
+	// OnPointError observes every failed sweep-point attempt (point key
+	// like "fig9a/3", 0-based attempt, error) — binaries use it to stamp
+	// the failing point into the run manifest. Excluded from manifests.
+	OnPointError func(point string, attempt int, err error) `json:"-"`
+}
+
+// ctx returns the experiment context, Background when unset.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() (Options, error) {
 	experimentRuns.Inc()
 	if o.Trials < 0 {
 		return o, fmt.Errorf("trials = %d: %w", o.Trials, ErrExperiment)
+	}
+	if err := o.ctx().Err(); err != nil {
+		return o, err
 	}
 	if o.Trials == 0 {
 		o.Trials = 10000

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sync"
 	"time"
 )
 
@@ -40,6 +43,14 @@ type Session struct {
 	manifest *Manifest
 	cpuFile  *os.File
 	traceOut *os.File
+
+	// mu guards the outcome fields, which the signal handler goroutine and
+	// RecordOutcome may touch concurrently.
+	mu          sync.Mutex
+	status      string
+	errStr      string
+	failedPoint string
+	interrupted bool
 }
 
 // Start begins the observed run: starts the CPU profile and execution
@@ -82,6 +93,49 @@ func (s *Session) SetParams(params any) { s.manifest.Params = params }
 // SetSeed records the campaign seed in the manifest.
 func (s *Session) SetSeed(seed int64) { s.manifest.Seed = seed }
 
+// SetFailedPoint records which sweep point the run failed on, for the
+// manifest's failed_point field.
+func (s *Session) SetFailedPoint(point string) {
+	s.mu.Lock()
+	s.failedPoint = point
+	s.mu.Unlock()
+}
+
+// RecordOutcome classifies how the run ended for the manifest status:
+// nil → ok, a cancellation error (or any error after a signal marked the
+// session interrupted) → interrupted, anything else → failed. Call it with
+// the run's final error before Close; without a call the status defaults
+// to ok.
+func (s *Session) RecordOutcome(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		if s.status == "" {
+			s.status = StatusOK
+		}
+		return
+	}
+	s.errStr = err.Error()
+	if s.interrupted || errors.Is(err, context.Canceled) {
+		s.status = StatusInterrupted
+	} else {
+		s.status = StatusFailed
+	}
+}
+
+// markInterrupted flags the session as signal-interrupted: the eventual
+// status becomes interrupted regardless of what error the unwinding run
+// reports.
+func (s *Session) markInterrupted(sig string) {
+	s.mu.Lock()
+	s.interrupted = true
+	s.status = StatusInterrupted
+	if s.errStr == "" {
+		s.errStr = "interrupted by " + sig
+	}
+	s.mu.Unlock()
+}
+
 func (s *Session) stopProfiles() {
 	if s.cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -120,6 +174,14 @@ func (s *Session) Close() error {
 		m := s.manifest
 		m.WallSeconds = time.Since(m.Start).Seconds()
 		m.CPUSeconds = cpuSeconds()
+		s.mu.Lock()
+		m.Status = s.status
+		if m.Status == "" {
+			m.Status = StatusOK
+		}
+		m.Error = s.errStr
+		m.FailedPoint = s.failedPoint
+		s.mu.Unlock()
 		m.Metrics = Default.Snapshot()
 		if err := m.WriteFile(s.flags.MetricsOut); err != nil && firstErr == nil {
 			firstErr = err

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,8 +12,19 @@ import (
 )
 
 // ManifestVersion identifies the manifest schema; bump it when a required
-// field changes shape.
-const ManifestVersion = 1
+// field changes shape. Version 2 added the required Status field.
+const ManifestVersion = 2
+
+// Run status values recorded in Manifest.Status.
+const (
+	// StatusOK marks a run that completed normally.
+	StatusOK = "ok"
+	// StatusFailed marks a run that exited with a non-cancellation error.
+	StatusFailed = "failed"
+	// StatusInterrupted marks a run cut short by SIGINT/SIGTERM or context
+	// cancellation; its checkpoint (if any) is valid for -resume.
+	StatusInterrupted = "interrupted"
+)
 
 // Manifest is the per-run record a binary writes via -metrics-out: enough
 // to re-run the exact invocation (binary, args, params, seed), attribute
@@ -42,36 +55,74 @@ type Manifest struct {
 	Start       time.Time `json:"start"`
 	WallSeconds float64   `json:"wall_seconds"`
 	CPUSeconds  float64   `json:"cpu_seconds"`
+	// Status records how the run ended: StatusOK, StatusFailed, or
+	// StatusInterrupted. Error carries the failure message for non-ok runs
+	// and FailedPoint names the sweep point that caused it, when known.
+	Status      string `json:"status"`
+	Error       string `json:"error,omitempty"`
+	FailedPoint string `json:"failed_point,omitempty"`
 	// Metrics is the Default-registry snapshot taken at Close.
 	Metrics Snapshot `json:"metrics"`
 }
 
-// newManifest stamps the static fields of a run manifest.
-func newManifest(binary string, args []string) *Manifest {
-	m := &Manifest{
-		Version:    ManifestVersion,
-		Binary:     binary,
-		Args:       args,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Start:      time.Now(),
-	}
+// buildIdentity holds the build provenance shared by run manifests and
+// checkpoint fingerprints.
+type buildIdentity struct {
+	vcsRevision string
+	vcsTime     string
+	vcsModified bool
+	goVersion   string
+}
+
+// readBuildIdentity reads the embedded build info — the `git describe`
+// equivalent available without shelling out.
+func readBuildIdentity() buildIdentity {
+	id := buildIdentity{goVersion: runtime.Version()}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {
 			switch s.Key {
 			case "vcs.revision":
-				m.VCSRevision = s.Value
+				id.vcsRevision = s.Value
 			case "vcs.time":
-				m.VCSTime = s.Value
+				id.vcsTime = s.Value
 			case "vcs.modified":
-				m.VCSModified = s.Value == "true"
+				id.vcsModified = s.Value == "true"
 			}
 		}
 	}
-	return m
+	return id
+}
+
+// Fingerprint derives a stable hex digest identifying one campaign: the
+// binary, its canonical parameter encoding, the seed, and the build that
+// produced the results (VCS revision, dirty flag, Go version). Checkpoints
+// store it so a resume against different parameters or a different build is
+// refused instead of silently merging incompatible results.
+func Fingerprint(binary, paramsJSON string, seed int64) string {
+	id := readBuildIdentity()
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\x00%s\x00%s\x00%d\x00%s\x00%t\x00%s",
+		binary, paramsJSON, seed, id.vcsRevision, id.vcsModified, id.goVersion)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// newManifest stamps the static fields of a run manifest.
+func newManifest(binary string, args []string) *Manifest {
+	id := readBuildIdentity()
+	return &Manifest{
+		Version:     ManifestVersion,
+		Binary:      binary,
+		Args:        args,
+		VCSRevision: id.vcsRevision,
+		VCSTime:     id.vcsTime,
+		VCSModified: id.vcsModified,
+		GoVersion:   id.goVersion,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Start:       time.Now(),
+	}
 }
 
 // WriteFile serializes the manifest as indented JSON to path.
@@ -111,6 +162,10 @@ func ValidateManifestJSON(data []byte) error {
 		return fmt.Errorf("obs: manifest missing start time")
 	case m.WallSeconds < 0 || m.CPUSeconds < 0:
 		return fmt.Errorf("obs: manifest negative timing: wall=%v cpu=%v", m.WallSeconds, m.CPUSeconds)
+	case m.Status != StatusOK && m.Status != StatusFailed && m.Status != StatusInterrupted:
+		return fmt.Errorf("obs: manifest status %q, want ok|failed|interrupted", m.Status)
+	case m.Status != StatusOK && m.Error == "":
+		return fmt.Errorf("obs: manifest status %q without an error message", m.Status)
 	}
 	return nil
 }

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/detect"
+)
+
+// TestRunCtxCancellation checks that a cancelled campaign stops with
+// ctx.Err() rather than returning partial aggregates.
+func TestRunCtxCancellation(t *testing.T) {
+	cfg := Config{Params: detect.Defaults(), Trials: 200_000, Seed: 1, Workers: 2}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx err = %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-flight: start the campaign, cancel from another goroutine.
+	ctx, cancel = context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	close(started)
+	res, err := RunCtx(ctx, cfg)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx err = %v, want nil or context.Canceled", err)
+	}
+	if err != nil && res != nil {
+		t.Fatal("cancelled RunCtx must not return a partial Result")
+	}
+}
+
+// TestRunCtxMatchesRun checks the completion guarantee: RunCtx under a
+// live (uncancelled) context is bit-identical to Run.
+func TestRunCtxMatchesRun(t *testing.T) {
+	p := detect.Defaults()
+	p.N = 60
+	cfg := Config{Params: p, Trials: 400, Seed: 7, Workers: 2}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := RunCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunCtx result differs from Run:\n got %+v\nwant %+v", got, want)
+	}
+}

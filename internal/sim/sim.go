@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -245,9 +246,28 @@ type partial struct {
 	err        error
 }
 
-// runWorker aggregates the trials of worker w's stripe into p.
-func runWorker(cfg Config, w, workers int, p *partial) {
+// cancelCheckMask amortizes cancellation checks to one poll every 32
+// trials: a trial is microseconds of pure CPU, so per-trial channel reads
+// would dominate the hot loop while a 32-trial stop lag is invisible.
+const cancelCheckMask = 31
+
+// runWorker aggregates the trials of worker w's stripe into p, polling ctx
+// between trials. A Background context (nil Done channel) costs one nil
+// check per trial, keeping the uncancellable benchmark path unchanged.
+func runWorker(ctx context.Context, cfg Config, w, workers int, p *partial) {
+	done := ctx.Done()
+	polls := 0
 	for trial := w; trial < cfg.Trials; trial += workers {
+		if done != nil {
+			if polls++; polls&cancelCheckMask == 0 {
+				select {
+				case <-done:
+					p.err = ctx.Err()
+					return
+				default:
+				}
+			}
+		}
 		tr, err := runTrial(cfg, trial, false)
 		if err != nil {
 			p.err = err
@@ -270,8 +290,19 @@ func runWorker(cfg Config, w, workers int, p *partial) {
 
 // Run executes the campaign and aggregates the results.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: cancellation stops every worker within a
+// bounded number of trials and returns ctx.Err() instead of a partial
+// Result. The context does not perturb the trials themselves, so a run
+// that completes under RunCtx is bit-identical to one under Run.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	workers := cfg.Workers
@@ -282,14 +313,14 @@ func Run(cfg Config) (*Result, error) {
 	if workers == 1 {
 		// Run the single stripe inline: no goroutine hand-off per call in
 		// the common benchmark and sweep-under-sweep shapes.
-		runWorker(cfg, 0, 1, &parts[0])
+		runWorker(ctx, cfg, 0, 1, &parts[0])
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				runWorker(cfg, w, workers, &parts[w])
+				runWorker(ctx, cfg, w, workers, &parts[w])
 			}(w)
 		}
 		wg.Wait()

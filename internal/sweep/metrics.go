@@ -3,11 +3,17 @@ package sweep
 import "github.com/groupdetect/gbd/internal/obs"
 
 // Metric handles are resolved once at package init. inflight tracks how
-// many fn calls are currently executing across all Map invocations and
-// inflight.max its high-water mark — together the worker-pool occupancy.
+// many point attempts are currently executing across all Run invocations
+// and inflight.max its high-water mark — together the worker-pool
+// occupancy. items counts attempts (so a resumed sweep shows exactly how
+// many points it re-executed), errors counts points failed after all
+// retries, retries counts re-attempts, and panics counts attempts that
+// were recovered into point failures.
 var (
 	sweepItems       = obs.Default.Counter("sweep.items")
 	sweepErrors      = obs.Default.Counter("sweep.errors")
+	sweepRetries     = obs.Default.Counter("sweep.retries")
+	sweepPanics      = obs.Default.Counter("sweep.panics")
 	sweepInflight    = obs.Default.Gauge("sweep.inflight")
 	sweepInflightMax = obs.Default.Gauge("sweep.inflight.max")
 )

@@ -1,89 +1,307 @@
-// Package sweep provides a deterministic parallel map for parameter
-// sweeps: every sweep point runs independently on a bounded worker pool,
-// but results come back in input order and the reported error is the one
-// the equivalent sequential loop would have hit first. Experiment runners
-// use it to fan sweep points out across cores without giving up
-// reproducible tables (each point already derives its own rng stream from
-// its parameters, so execution order cannot leak into any result).
+// Package sweep provides a deterministic, fault-tolerant parallel map for
+// parameter sweeps: every sweep point runs independently on a bounded
+// worker pool, but results come back in input order and the reported error
+// is the one the equivalent sequential loop would have hit first.
+// Experiment runners use it to fan sweep points out across cores without
+// giving up reproducible tables (each point already derives its own rng
+// stream from its parameters, so execution order cannot leak into any
+// result).
+//
+// Run is the resilient entry point (DESIGN.md §10): points observe a
+// context, panics are isolated into point failures, transient failures are
+// retried with jittered exponential backoff under an optional per-point
+// deadline, and Degrade mode finishes every healthy point instead of
+// aborting the sweep at the first failure. Map is the plain wrapper that
+// keeps the original sequential-equivalent contract.
 package sweep
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
+// Options is the execution policy for Run.
+type Options struct {
+	// Workers bounds how many points run concurrently; <= 0 means
+	// GOMAXPROCS. A single worker degenerates to an inline sequential loop.
+	Workers int
+	// Retries is how many times a failed point is re-attempted after its
+	// first failure. 0 (the default) fails the point on the first error.
+	// Context cancellation is never retried.
+	Retries int
+	// Backoff is the base delay before the first retry; it doubles per
+	// subsequent retry and carries a deterministic jitter in [0.5, 1.5)
+	// derived from the point index and attempt (no RNG, no global state).
+	// 0 retries immediately.
+	Backoff time.Duration
+	// PointTimeout, when positive, bounds each attempt: the attempt's
+	// context carries the deadline and the attempt fails with
+	// context.DeadlineExceeded once it passes. The next attempt (if any
+	// retries remain) gets a fresh deadline.
+	PointTimeout time.Duration
+	// Degrade keeps the sweep going after point failures: every remaining
+	// point still runs, failed points are reported in Report.Failed, and
+	// Run returns a nil error (cancellation aside). Without Degrade the
+	// sweep stops dispatching new points at the first failure, like a
+	// sequential loop would.
+	Degrade bool
+	// OnPointError, when set, observes every failed attempt (index,
+	// 0-based attempt number, error) before any retry decision. It may be
+	// called concurrently from multiple workers.
+	OnPointError func(index, attempt int, err error)
+}
+
+// PointError reports the failure of one sweep point after all attempts.
+type PointError struct {
+	// Index is the point's position in the input slice.
+	Index int
+	// Attempts is how many times the point was tried.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *PointError) Error() string {
+	return fmt.Sprintf("sweep: point %d failed after %d attempt(s): %v", e.Index, e.Attempts, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// Report is the full outcome of a Run: per-point results, which points
+// completed, and which failed. Results always has one slot per input item;
+// slots of failed or skipped points hold the zero value.
+type Report[R any] struct {
+	Results []R
+	// Done[i] reports whether point i completed successfully (restored
+	// results count; skipped and failed points do not).
+	Done []bool
+	// Failed lists the failed points in ascending index order. Points
+	// skipped because the sweep stopped early appear in neither Done nor
+	// Failed.
+	Failed []*PointError
+}
+
+// Err returns the lowest-index point failure, or nil if every dispatched
+// point succeeded — the error the equivalent sequential loop would have
+// returned first.
+func (r *Report[R]) Err() error {
+	if len(r.Failed) == 0 {
+		return nil
+	}
+	return r.Failed[0]
+}
+
 // Map applies fn to every item with at most workers concurrent calls and
-// returns the results in input order. workers <= 0 means GOMAXPROCS, and a
-// single worker degenerates to an inline sequential loop.
+// returns the results in input order. workers <= 0 means GOMAXPROCS.
 //
 // fn receives the item's index and value. If any call fails, Map returns
 // the error of the lowest-indexed failing item — exactly what a sequential
-// loop would have returned — and no partial results. Items after a failure
-// that have not started yet are skipped; every item at a lower index than
-// a failure has already been dispatched, so the lowest-index selection
-// never misses an earlier error.
+// loop would have returned — alongside the results of every point that
+// completed before the sweep stopped (failed and skipped slots hold zero
+// values). Items after a failure that have not started yet are skipped;
+// every item at a lower index than a failure has already been dispatched,
+// so the lowest-index selection never misses an earlier error.
 func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	rep, err := Run(context.Background(), Options{Workers: workers}, items,
+		func(_ context.Context, i int, item T) (R, error) { return fn(i, item) })
+	if err != nil {
+		// Unwrap to the caller's own error: Map predates PointError and its
+		// callers match on sentinel errors directly.
+		var pe *PointError
+		if errors.As(err, &pe) {
+			err = pe.Err
+		}
+	}
+	return rep.Results, err
+}
+
+// Run applies fn to every item under the given execution policy and
+// returns the full report. The returned error is ctx.Err() if the sweep
+// was cancelled, the lowest-index *PointError if a point failed and
+// Degrade is off, and nil otherwise (Degrade failures are reported only in
+// Report.Failed). The Report is never nil and always carries every result
+// completed before Run returned.
+func Run[T, R any](ctx context.Context, opt Options, items []T, fn func(context.Context, int, T) (R, error)) (*Report[R], error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-	}
-	out := make([]R, len(items))
-	if len(items) == 0 {
-		return out, nil
 	}
 	if workers > len(items) {
 		workers = len(items)
 	}
+	rep := &Report[R]{
+		Results: make([]R, len(items)),
+		Done:    make([]bool, len(items)),
+	}
+	if len(items) == 0 {
+		return rep, ctx.Err()
+	}
+	errs := make([]*PointError, len(items))
+	var stop atomic.Bool
+	runOne := func(i int) {
+		r, err := runPoint(ctx, opt, i, items[i], fn)
+		switch {
+		case err == nil:
+			rep.Results[i] = r
+			rep.Done[i] = true
+		case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+			// Cancellation, not a point failure: stop dispatching.
+			stop.Store(true)
+		default:
+			errs[i] = err.(*PointError)
+			if !opt.Degrade {
+				stop.Store(true)
+			}
+		}
+	}
 	if workers == 1 {
-		for i, it := range items {
-			r, err := apply(fn, i, it)
-			if err != nil {
-				return nil, err
+		for i := range items {
+			if stop.Load() {
+				break
 			}
-			out[i] = r
+			runOne(i)
 		}
-		return out, nil
-	}
-	errs := make([]error, len(items))
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) || failed.Load() {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(items) || stop.Load() {
+						return
+					}
+					runOne(i)
 				}
-				r, err := apply(fn, i, items[i])
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					continue
-				}
-				out[i] = r
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, pe := range errs {
+		if pe != nil {
+			rep.Failed = append(rep.Failed, pe)
 		}
 	}
-	return out, nil
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if !opt.Degrade {
+		return rep, rep.Err()
+	}
+	return rep, nil
 }
 
-// apply runs one sweep point with occupancy accounting around the call.
-func apply[T, R any](fn func(int, T) (R, error), i int, item T) (R, error) {
+// runPoint runs one sweep point through the retry policy. It returns the
+// context error verbatim when the sweep was cancelled and a *PointError
+// for genuine point failures (including per-attempt deadline overruns).
+func runPoint[T, R any](ctx context.Context, opt Options, i int, item T, fn func(context.Context, int, T) (R, error)) (R, error) {
+	var zero R
+	var lastErr error
+	attempts := 0
+	for a := 0; a <= opt.Retries; a++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				return zero, err
+			}
+			break // cancelled mid-retry: report the point failure we have
+		}
+		attempts++
+		r, err := attemptPoint(ctx, opt, i, item, fn)
+		if err == nil {
+			return r, nil
+		}
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			// The attempt observed the sweep-wide cancellation (not its own
+			// per-point deadline); surface it as cancellation, never retry.
+			return zero, cerr
+		}
+		lastErr = err
+		if opt.OnPointError != nil {
+			opt.OnPointError(i, a, err)
+		}
+		if a < opt.Retries {
+			sweepRetries.Inc()
+			if !sleepCtx(ctx, backoffDelay(opt.Backoff, i, a)) {
+				break
+			}
+		}
+	}
+	sweepErrors.Inc()
+	return zero, &PointError{Index: i, Attempts: attempts, Err: lastErr}
+}
+
+// attemptPoint runs a single attempt with occupancy accounting, the
+// per-point deadline, and panic isolation.
+func attemptPoint[T, R any](ctx context.Context, opt Options, i int, item T, fn func(context.Context, int, T) (R, error)) (r R, err error) {
 	sweepItems.Inc()
 	sweepInflightMax.SetMax(sweepInflight.Add(1))
-	r, err := fn(i, item)
-	sweepInflight.Add(-1)
-	if err != nil {
-		sweepErrors.Inc()
+	defer func() {
+		sweepInflight.Add(-1)
+		if p := recover(); p != nil {
+			sweepPanics.Inc()
+			err = fmt.Errorf("sweep: point %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	actx := ctx
+	if opt.PointTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, opt.PointTimeout)
+		defer cancel()
+	}
+	r, err = fn(actx, i, item)
+	if err == nil && opt.PointTimeout > 0 && actx.Err() != nil && ctx.Err() == nil {
+		// The attempt blew its deadline but never checked the context (a
+		// pure-CPU point): its result is from a run that should have been
+		// cut off, so fail it like any other overrun.
+		err = actx.Err()
 	}
 	return r, err
+}
+
+// backoffDelay is the jittered exponential backoff before retry `attempt`
+// of point `index`: Backoff * 2^attempt scaled by a deterministic jitter
+// factor in [0.5, 1.5) so simultaneous retries of neighboring points
+// spread out without consuming any RNG state.
+func backoffDelay(base time.Duration, index, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt
+	if shift > 16 {
+		shift = 16
+	}
+	d := float64(base) * float64(uint64(1)<<shift)
+	// splitmix64-style mix of (index, attempt) -> [0.5, 1.5).
+	h := uint64(index)*0x9E3779B97F4A7C15 + uint64(attempt) + 0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	frac := 0.5 + float64(h>>11)/float64(uint64(1)<<53)
+	return time.Duration(d * frac)
+}
+
+// sleepCtx waits for d or until ctx is cancelled; it reports whether the
+// full delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

@@ -1,0 +1,47 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRunCtxCancellation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 100_000
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	go cancel()
+	res, err := RunCtx(ctx, cfg)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx err = %v, want nil or context.Canceled", err)
+	}
+	if err != nil && res != nil {
+		t.Fatal("cancelled RunCtx must not return a partial Result")
+	}
+}
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trials = 100
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := RunCtx(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunCtx result differs from Run:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -9,6 +9,7 @@
 package system
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -94,9 +95,23 @@ type Result struct {
 	DecisionLatency stats.Histogram
 }
 
+// cancelCheckMask amortizes cancellation polling to one check every 32
+// trials, mirroring the sim package's hot-loop policy.
+const cancelCheckMask = 31
+
 // Run simulates the full pipeline.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: cancellation stops every worker within a
+// bounded number of trials and returns ctx.Err(). A completing run is
+// bit-identical to Run (the context never touches trial mechanics).
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	p := cfg.Params
@@ -142,7 +157,19 @@ func Run(cfg Config) (*Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			part := &parts[w]
+			done := ctx.Done()
+			polls := 0
 			for trial := w; trial < cfg.Trials; trial += workers {
+				if done != nil {
+					if polls++; polls&cancelCheckMask == 0 {
+						select {
+						case <-done:
+							part.err = ctx.Err()
+							return
+						default:
+						}
+					}
+				}
 				decided, gen, del, delay, err := runTrial(cfg, p, model, disk, fa, gate, center, bounds, trial)
 				if err != nil {
 					part.err = err
