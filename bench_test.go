@@ -8,7 +8,12 @@
 package gbd_test
 
 import (
+	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,6 +25,7 @@ import (
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/serve"
 	"github.com/groupdetect/gbd/internal/sim"
 	"github.com/groupdetect/gbd/internal/system"
 	"github.com/groupdetect/gbd/internal/target"
@@ -380,6 +386,73 @@ func BenchmarkLossyDelivery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// servedAnalyze posts one /v1/analyze request and discards the body.
+func servedAnalyze(url string) error {
+	resp, err := http.Post(url+"/v1/analyze", "application/json",
+		strings.NewReader(`{"scenario":{}}`))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// BenchmarkServedAnalyzeCold measures a full served analysis with caching
+// disabled: HTTP round trip + canonicalization + admission + the
+// M-S-approach compute, every iteration.
+func BenchmarkServedAnalyzeCold(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Config{CacheEntries: -1}).Handler())
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := servedAnalyze(ts.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServedAnalyzeCached measures the cache-hit path: the same
+// request served from the rendered-bytes LRU after the first computation.
+func BenchmarkServedAnalyzeCached(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	if err := servedAnalyze(ts.URL); err != nil { // populate
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := servedAnalyze(ts.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServedAnalyzeConcurrent measures cached throughput under
+// concurrent clients (RunParallel drives GOMAXPROCS goroutines).
+func BenchmarkServedAnalyzeConcurrent(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	if err := servedAnalyze(ts.URL); err != nil { // populate
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := servedAnalyze(ts.URL); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkFaultyTrial measures one full fault-injection trial: Bernoulli

@@ -1,20 +1,23 @@
 // Command gbd-bench runs the hot-path benchmarks in-process via
 // testing.Benchmark and emits a machine-readable JSON report, so CI and
-// the committed BENCH_*.json snapshots (BENCH_PR2.json, BENCH_PR3.json)
-// use the same measurement path as `go test -bench`. The benchmark bodies
-// mirror bench_test.go exactly; this command exists because test binaries
-// cannot be imported, while the tracked snapshots must be regenerable with
-// one command.
+// the committed BENCH_*.json snapshots (BENCH_PR2.json through
+// BENCH_PR5.json) use the same measurement path as `go test -bench`. The
+// benchmark bodies mirror bench_test.go exactly; this command exists
+// because test binaries cannot be imported, while the tracked snapshots
+// must be regenerable with one command.
 //
 // Usage:
 //
-//	gbd-bench [-out BENCH_PR3.json]
+//	gbd-bench [-out BENCH_PR5.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
@@ -26,6 +29,7 @@ import (
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/obs"
+	"github.com/groupdetect/gbd/internal/serve"
 	"github.com/groupdetect/gbd/internal/sim"
 )
 
@@ -55,6 +59,9 @@ var benchmarks = []struct {
 	{"LossyDelivery", benchLossyDelivery},
 	{"MSApproachConvolution", benchMSApproachConvolution},
 	{"CommCheck", benchCommCheck},
+	{"ServedAnalyzeCold", benchServedAnalyzeCold},
+	{"ServedAnalyzeCached", benchServedAnalyzeCached},
+	{"ServedAnalyzeConcurrent", benchServedAnalyzeConcurrent},
 }
 
 func run(args []string) (err error) {
@@ -173,6 +180,73 @@ func benchMSApproachConvolution(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// servedAnalyze posts one /v1/analyze request and discards the body.
+func servedAnalyze(url string) error {
+	resp, err := http.Post(url+"/v1/analyze", "application/json",
+		strings.NewReader(`{"scenario":{}}`))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// benchServedAnalyzeCold measures a full served analysis with caching
+// disabled: HTTP round trip + canonicalization + admission + the
+// M-S-approach compute, every iteration.
+func benchServedAnalyzeCold(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Config{CacheEntries: -1}).Handler())
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := servedAnalyze(ts.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServedAnalyzeCached measures the cache-hit path: the same request
+// served from the rendered-bytes LRU after the first computation.
+func benchServedAnalyzeCached(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	if err := servedAnalyze(ts.URL); err != nil { // populate
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := servedAnalyze(ts.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServedAnalyzeConcurrent measures cached throughput under
+// concurrent clients (RunParallel drives GOMAXPROCS goroutines).
+func benchServedAnalyzeConcurrent(b *testing.B) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	if err := servedAnalyze(ts.URL); err != nil { // populate
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := servedAnalyze(ts.URL); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 func benchCommCheck(b *testing.B) {

@@ -64,13 +64,21 @@ func run(args []string) (err error) {
 
 		ckptPath     = fs.String("checkpoint", "", "record completed sweep points in this file for crash/interrupt recovery")
 		resume       = fs.Bool("resume", false, "resume from an existing -checkpoint file (refuses stale checkpoints)")
-		retries      = fs.Int("retries", 0, "re-attempts per failed sweep point (jittered exponential backoff)")
 		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between point retries")
 		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
 	)
+	// The sweep fault policy answers to both spellings of the shared
+	// vocabulary: -retries (native here) and -point-retries (gbd-faults,
+	// gbd-server) set the same value.
+	var retries int
+	fs.IntVar(&retries, "retries", 0, "re-attempts per failed sweep point (jittered exponential backoff; alias: -point-retries)")
+	fs.IntVar(&retries, "point-retries", 0, "alias for -retries")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if retries < 0 {
+		return fmt.Errorf("retries = %d must be >= 0", retries)
 	}
 	sess, err := obsFlags.Start("gbd-experiments", args)
 	if err != nil {
@@ -93,7 +101,7 @@ func run(args []string) (err error) {
 		Quick:        *quick,
 		SweepWorkers: *workers,
 		Ctx:          ctx,
-		Retries:      *retries,
+		Retries:      retries,
 		RetryBackoff: *retryBackoff,
 		PointTimeout: *pointTimeout,
 		OnPointError: func(point string, attempt int, perr error) {

@@ -83,24 +83,33 @@ func run(args []string, w io.Writer) (err error) {
 		hazard    = fs.Float64("hazard", 0, "per-period battery death hazard (single scenario)")
 		blob      = fs.Float64("blob-radius", 0, "correlated blob failure radius in m (single scenario)")
 
-		lossSweep = fs.Bool("loss-sweep", false, "sweep per-hop loss instead of dead fraction")
-		maxLoss   = fs.Float64("max-loss", 0.5, "largest per-hop loss rate in the sweep")
-		commRange = fs.Float64("comm-range", 6000, "radio range in m for the relay network")
-		perHop    = fs.Duration("per-hop", 10*time.Second, "per-hop transmission latency")
-		retries   = fs.Int("retries", 2, "retransmissions per hop")
-		backoff   = fs.Duration("backoff", 5*time.Second, "base retransmission backoff (doubles per retry)")
-		budget    = fs.Duration("budget", 0, "delivery latency budget (0 = one sensing period)")
+		lossSweep  = fs.Bool("loss-sweep", false, "sweep per-hop loss instead of dead fraction")
+		maxLoss    = fs.Float64("max-loss", 0.5, "largest per-hop loss rate in the sweep")
+		commRange  = fs.Float64("comm-range", 6000, "radio range in m for the relay network")
+		perHop     = fs.Duration("per-hop", 10*time.Second, "per-hop transmission latency")
+		hopRetries = fs.Int("hop-retries", 2, "retransmissions per hop (was -retries before the flag vocabulary was unified)")
+		backoff    = fs.Duration("backoff", 5*time.Second, "base retransmission backoff (doubles per retry)")
+		budget     = fs.Duration("budget", 0, "delivery latency budget (0 = one sensing period)")
 
 		ckptPath     = fs.String("checkpoint", "", "record completed sweep points in this file for crash/interrupt recovery")
 		resume       = fs.Bool("resume", false, "resume from an existing -checkpoint file (refuses stale checkpoints)")
-		pointRetries = fs.Int("point-retries", 0, "re-attempts per failed sweep point (jittered exponential backoff)")
 		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between point retries")
 		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
 		keepGoing    = fs.Bool("keep-going", false, "finish the sweep past point failures and render 'failed' rows")
 	)
+	// The sweep fault policy answers to both spellings of the shared
+	// vocabulary: -point-retries (native here) and -retries
+	// (gbd-experiments) set the same value. The per-hop retransmission
+	// count that -retries used to mean lives at -hop-retries now.
+	var pointRetries int
+	fs.IntVar(&pointRetries, "point-retries", 0, "re-attempts per failed sweep point (jittered exponential backoff; alias: -retries)")
+	fs.IntVar(&pointRetries, "retries", 0, "alias for -point-retries")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if pointRetries < 0 {
+		return fmt.Errorf("point-retries = %d must be >= 0", pointRetries)
 	}
 	sess, err := obsFlags.Start("gbd-faults", args)
 	if err != nil {
@@ -131,7 +140,7 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	loss := netsim.LossModel{
 		PerHopDelivery: 1,
-		MaxRetries:     *retries,
+		MaxRetries:     *hopRetries,
 		PerHop:         *perHop,
 		Backoff:        *backoff,
 		Budget:         *budget,
@@ -144,7 +153,7 @@ func run(args []string, w io.Writer) (err error) {
 		ctx:     ctx,
 		workers: *sweepW,
 		policy: sweep.Options{
-			Retries:      *pointRetries,
+			Retries:      pointRetries,
 			Backoff:      *retryBackoff,
 			PointTimeout: *pointTimeout,
 			Degrade:      *keepGoing,

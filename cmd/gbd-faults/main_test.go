@@ -64,6 +64,8 @@ func TestRunErrors(t *testing.T) {
 		{"-loss-sweep", "-max-loss", "1"},
 		{"-loss-sweep", "-comm-range", "-5"},
 		{"-retries", "-1", "-loss-sweep"},
+		{"-point-retries", "-1"},
+		{"-hop-retries", "-1", "-loss-sweep"},
 	}
 	for _, args := range cases {
 		var sb strings.Builder

@@ -120,6 +120,25 @@ func Analyze(p Params, opt MSOptions) (*MSResult, error) {
 	return detect.MSApproach(p, opt)
 }
 
+// AnalyzeCtx is Analyze under a context, for callers that serve analyses
+// with deadlines (the gbd-server request path). The analysis itself runs
+// in milliseconds and is not interruptible mid-chain; the ctx is checked
+// before the computation starts and before the result is returned, so an
+// expired deadline yields ctx.Err() rather than a stale result.
+func AnalyzeCtx(ctx context.Context, p Params, opt MSOptions) (*MSResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := detect.MSApproach(p, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // AnalyzeS runs the S-approach (Section 3.3) over the whole aggregate
 // region. Set SOptions.Literal for the paper's exponential Algorithm 1.
 func AnalyzeS(p Params, opt SOptions) (*SResult, error) {
@@ -130,6 +149,22 @@ func AnalyzeS(p Params, opt SOptions) (*SResult, error) {
 // least h distinct nodes within M periods.
 func AnalyzeNodes(p Params, h int, opt MSOptions) (*NodesResult, error) {
 	return detect.MSApproachNodes(p, h, opt)
+}
+
+// AnalyzeNodesCtx is AnalyzeNodes under a context, with the same
+// before/after deadline checks as AnalyzeCtx.
+func AnalyzeNodesCtx(ctx context.Context, p Params, h int, opt MSOptions) (*NodesResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := detect.MSApproachNodes(p, h, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // SinglePeriod returns the M = 1 preliminary distribution of reports in one

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -48,6 +49,14 @@ func (l LatencyCDF) Quantile(q float64) (int, bool) {
 // value is the CDF's last point) to the full time profile — a "how long
 // until we notice" curve.
 func DetectionLatency(p Params, opt MSOptions) (LatencyCDF, error) {
+	return DetectionLatencyCtx(context.Background(), p, opt)
+}
+
+// DetectionLatencyCtx is DetectionLatency under a context: the ctx is
+// polled between window evaluations (one per sensing period), so a
+// cancelled caller waits at most one M-S-approach run. A run that
+// completes is identical to DetectionLatency.
+func DetectionLatencyCtx(ctx context.Context, p Params, opt MSOptions) (LatencyCDF, error) {
 	if err := p.Validate(); err != nil {
 		return LatencyCDF{}, err
 	}
@@ -57,6 +66,9 @@ func DetectionLatency(p Params, opt MSOptions) (LatencyCDF, error) {
 	}
 	prev := 0.0
 	for m := 1; m <= p.M; m++ {
+		if err := ctx.Err(); err != nil {
+			return LatencyCDF{}, err
+		}
 		res, err := MSApproach(p.WithM(m), opt)
 		if err != nil {
 			return LatencyCDF{}, err

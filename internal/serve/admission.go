@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that the admission queue is full; handlers map it
+// to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// admission is the worker-pool admission controller: at most `workers`
+// computations run concurrently and at most `depth` requests may be
+// waiting for (or holding a claim on) a worker slot at once. A request
+// beyond the queue bound is rejected immediately with ErrOverloaded (429)
+// rather than piling up latency; a queued request whose context expires
+// before a worker frees up leaves with the context error (503). This is
+// the standard inference-stack shape: bounded queue in front of a bounded
+// pool, load shedding at the edge.
+type admission struct {
+	depth  int64
+	queued atomic.Int64
+	slots  chan struct{}
+}
+
+// newAdmission builds a controller with the given pool size and queue
+// bound (both >= 1).
+func newAdmission(workers, depth int) *admission {
+	return &admission{
+		depth: int64(depth),
+		slots: make(chan struct{}, workers),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue if the pool
+// is busy. On success it returns the release function; the caller must
+// invoke it exactly once when the computation finishes.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	n := a.queued.Add(1)
+	if n > a.depth {
+		a.queued.Add(-1)
+		rejectedQueue.Inc()
+		return nil, ErrOverloaded
+	}
+	queueDepth.Set(n)
+	queueDepthMax.SetMax(n)
+	defer func() {
+		queueDepth.Set(a.queued.Add(-1))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		admitted.Inc()
+		inflightMax.SetMax(inflight.Add(1))
+		return func() {
+			inflight.Add(-1)
+			<-a.slots
+		}, nil
+	case <-ctx.Done():
+		rejectedDeadline.Inc()
+		return nil, ctx.Err()
+	}
+}

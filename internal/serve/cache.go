@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a size-bounded LRU over rendered response bodies. Values
+// are the exact bytes written to the wire, so a cache hit is bit-identical
+// to the response that populated it. The lock is held only for map and
+// list pointer updates — never across a computation — so the cache cannot
+// serialize request handling.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache builds an LRU holding at most capacity entries;
+// capacity <= 0 disables caching (every lookup misses, adds are dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key and whether it was present,
+// recording the lookup outcome in the cache metrics.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cacheLookups.Inc()
+	el, ok := c.items[key]
+	if !ok {
+		cacheMisses.Inc()
+		return nil, false
+	}
+	cacheHits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// add stores body under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its recency.
+func (c *resultCache) add(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		cacheEvictions.Inc()
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	cacheEntries.Set(int64(c.order.Len()))
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

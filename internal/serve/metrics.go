@@ -1,0 +1,35 @@
+package serve
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// Metric handles are resolved once at package init (DESIGN.md §9 hot-path
+// contract). The cache triple obeys hits + misses == lookups exactly: both
+// are counted under the cache lock at lookup time, so the concurrent-
+// correctness test can assert the identity under -race. dedup counts
+// requests that joined an identical in-flight computation instead of
+// recomputing (they are also cache misses — the identity still holds).
+var (
+	serveRequests = obs.Default.Counter("serve.requests")
+	serveErrors   = obs.Default.Counter("serve.errors")
+
+	cacheLookups   = obs.Default.Counter("serve.cache.lookups")
+	cacheHits      = obs.Default.Counter("serve.cache.hits")
+	cacheMisses    = obs.Default.Counter("serve.cache.misses")
+	cacheEvictions = obs.Default.Counter("serve.cache.evictions")
+	cacheEntries   = obs.Default.Gauge("serve.cache.entries")
+
+	dedupFollowers = obs.Default.Counter("serve.dedup.followers")
+
+	admitted         = obs.Default.Counter("serve.admitted")
+	rejectedQueue    = obs.Default.Counter("serve.rejected.queue")
+	rejectedDeadline = obs.Default.Counter("serve.rejected.deadline")
+	queueDepth       = obs.Default.Gauge("serve.queue.depth")
+	queueDepthMax    = obs.Default.Gauge("serve.queue.depth.max")
+	inflight         = obs.Default.Gauge("serve.inflight")
+	inflightMax      = obs.Default.Gauge("serve.inflight.max")
+
+	serveLatency = obs.Default.Histogram("serve.latency.seconds", obs.SecondsBuckets())
+
+	sweepStreams = obs.Default.Counter("serve.sweep.streams")
+	sweepRows    = obs.Default.Counter("serve.sweep.rows")
+)

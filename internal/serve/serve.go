@@ -1,0 +1,709 @@
+// Package serve is the concurrent analysis/simulation serving layer: an
+// HTTP JSON API exposing the paper's M-S-approach analysis, the design
+// workflow, latency profiles, bounded Monte Carlo campaigns, parameter
+// sweeps (streamed as NDJSON), and the experiment registry as a
+// long-lived service.
+//
+// The serving machinery is the request/cache/batch shape used by
+// inference stacks (DESIGN.md §11):
+//
+//   - canonicalization: every request body is resolved against defaults
+//     and fingerprinted (obs.Fingerprint), so equivalent bodies share one
+//     cache key (canon.go);
+//   - a size-bounded LRU over rendered response bytes — a hit returns the
+//     exact bytes of the response that populated it (cache.go);
+//   - singleflight dedup: concurrent identical misses share one
+//     computation (flight.go);
+//   - admission control: a bounded worker pool behind a bounded queue,
+//     shedding load with 429 (queue full) and 503 (deadline expired while
+//     queued) instead of collapsing (admission.go);
+//   - graceful drain: the server attaches no state to http.Server, so
+//     http.Server.Shutdown gives drain semantics for free — in-flight
+//     requests (including NDJSON sweep streams) run to completion while
+//     new connections are refused.
+//
+// All computations observe a per-request deadline (Config.RequestTimeout)
+// through the context plumbing added in DESIGN.md §10, so a runaway
+// request cannot pin a worker forever.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	gbd "github.com/groupdetect/gbd"
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/experiments"
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/netsim"
+	"github.com/groupdetect/gbd/internal/obs"
+	"github.com/groupdetect/gbd/internal/sim"
+)
+
+// Config tunes the serving layer. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// CacheEntries bounds the result LRU (default 1024; negative disables
+	// caching).
+	CacheEntries int
+	// Workers bounds concurrent computations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker (default
+	// 4*Workers). Requests beyond it are rejected with 429.
+	QueueDepth int
+	// RequestTimeout deadlines each computation (default 30s).
+	RequestTimeout time.Duration
+	// MaxTrials bounds /v1/simulate and per-sweep-point trial counts
+	// (default 200000).
+	MaxTrials int
+	// MaxSweepPoints bounds /v1/sweep value lists (default 512).
+	MaxSweepPoints int
+	// SweepWorkers bounds the intra-request parallelism of one sweep
+	// stream (default 1). A sweep holds exactly one admission slot
+	// regardless; this knob only shapes work inside it.
+	SweepWorkers int
+	// Retries, RetryBackoff and PointTimeout are the default sweep fault
+	// policy (the gbd-experiments -retries / gbd-faults -point-retries
+	// vocabulary); SweepRequest fields override them per request.
+	Retries      int
+	RetryBackoff time.Duration
+	PointTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 200000
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 512
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the serving layer. Create with New; it is safe for
+// concurrent use by any number of HTTP requests.
+type Server struct {
+	cfg    Config
+	cache  *resultCache
+	flight *flightGroup
+	adm    *admission
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlightGroup(),
+		adm:    newAdmission(cfg.Workers, cfg.QueueDepth),
+		start:  time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/design", s.handleDesign)
+	mux.HandleFunc("POST /v1/latency", s.handleLatency)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler: the API mux wrapped with request
+// counting and latency observation. Mount it on an http.Server;
+// http.Server.Shutdown then drains in-flight requests gracefully.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveRequests.Inc()
+		t0 := time.Now()
+		s.mux.ServeHTTP(w, r)
+		serveLatency.Observe(time.Since(t0).Seconds())
+	})
+}
+
+// requestCtx derives the computation context: the request context bounded
+// by the per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// writeError renders an error as a JSON body with the mapped status:
+// request/parameter problems are 400, queue overflow 429, deadline or
+// cancellation 503, everything else 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	serveErrors.Inc()
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrRequest),
+		errors.Is(err, detect.ErrParams),
+		errors.Is(err, sim.ErrConfig),
+		errors.Is(err, experiments.ErrExperiment),
+		errors.Is(err, netsim.ErrNetwork):
+		code = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	resp, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(resp, '\n'))
+}
+
+// writeBody writes a rendered JSON response with its cache provenance
+// ("hit", "miss", or "dedup") in the X-Cache header.
+func writeBody(w http.ResponseWriter, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source)
+	w.Write(body)
+}
+
+// serveCached is the shared read path: cache lookup, then singleflight
+// dedup around an admission-controlled computation. compute's result is
+// marshaled once; the bytes are cached and every hit or follower receives
+// exactly those bytes, so identical requests are bit-identical responses
+// by construction.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+	if body, ok := s.cache.get(key); ok {
+		writeBody(w, "hit", body)
+		return
+	}
+	body, err, shared := s.flight.do(key, func() ([]byte, error) {
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		v, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("serve: marshal response: %w", err)
+		}
+		body = append(body, '\n')
+		s.cache.add(key, body)
+		return body, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	source := "miss"
+	if shared {
+		source = "dedup"
+	}
+	writeBody(w, source, body)
+}
+
+// ---- /healthz and /metrics ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"inflight":       inflight.Value(),
+		"cache_entries":  s.cache.len(),
+	}
+	body, _ := json.Marshal(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body, err := json.MarshalIndent(obs.Default.Snapshot(), "", "  ")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// ---- /v1/analyze ----
+
+// AnalyzeResponse is the /v1/analyze result.
+type AnalyzeResponse struct {
+	Scenario          scenarioEcho `json:"scenario"`
+	HNodes            int          `json:"h_nodes,omitempty"`
+	DetectionProb     float64      `json:"detection_prob"`
+	RawTail           float64      `json:"raw_tail"`
+	Mass              float64      `json:"mass"`
+	Gh                int          `json:"gh"`
+	G                 int          `json:"g"`
+	PredictedAccuracy float64      `json:"predicted_accuracy,omitempty"`
+	PMF               []float64    `json:"pmf,omitempty"`
+}
+
+// analyzeCanonical is the canonical (fully resolved, fixed-order) form of
+// an AnalyzeRequest, the value that is fingerprinted into the cache key.
+type analyzeCanonical struct {
+	Scenario scenarioEcho   `json:"scenario"`
+	Options  AnalyzeOptions `json:"options"`
+	HNodes   int            `json:"h_nodes"`
+}
+
+// analyzeKey canonicalizes an AnalyzeRequest into its resolved parameters
+// and cache key.
+func (s *Server) analyzeKey(req AnalyzeRequest) (detect.Params, string, error) {
+	p, err := req.Scenario.params()
+	if err != nil {
+		return p, "", err
+	}
+	if req.HNodes < 0 {
+		return p, "", fmt.Errorf("h_nodes = %d must be >= 0: %w", req.HNodes, ErrRequest)
+	}
+	key, err := cacheKey("/v1/analyze", analyzeCanonical{
+		Scenario: echoParams(p), Options: req.Options, HNodes: req.HNodes,
+	}, 0)
+	return p, key, err
+}
+
+// computeAnalyze runs the analysis for a decoded request: MSApproach, or
+// MSApproachNodes when h_nodes >= 1.
+func (s *Server) computeAnalyze(ctx context.Context, p detect.Params, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	opt := req.Options.msOptions()
+	if req.HNodes >= 1 {
+		res, err := gbd.AnalyzeNodesCtx(ctx, p, req.HNodes, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeResponse{
+			Scenario: echoParams(p), HNodes: req.HNodes,
+			DetectionProb: res.DetectionProb, RawTail: res.RawTail,
+			Mass: res.Mass, Gh: res.Gh, G: res.G,
+		}, nil
+	}
+	res, err := gbd.AnalyzeCtx(ctx, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	resp := &AnalyzeResponse{
+		Scenario:      echoParams(p),
+		DetectionProb: res.DetectionProb, RawTail: res.RawTail,
+		Mass: res.Mass, Gh: res.Gh, G: res.G,
+		PredictedAccuracy: res.PredictedAccuracy,
+	}
+	if req.Options.IncludePMF {
+		resp.PMF = res.PMF
+	}
+	return resp, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, key, err := s.analyzeKey(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		return s.computeAnalyze(ctx, p, req)
+	})
+}
+
+// ---- /v1/design ----
+
+// DesignResponse is the /v1/design result: the sized rule and fleet.
+type DesignResponse struct {
+	Scenario      scenarioEcho `json:"scenario"` // with the designed N and K
+	K             int          `json:"k"`
+	N             int          `json:"n"`
+	DetectionProb float64      `json:"detection_prob"`
+	TargetProb    float64      `json:"target_prob"`
+	FalseAlarmP   float64      `json:"false_alarm_p"`
+	Budget        float64      `json:"budget"`
+	Horizon       int          `json:"horizon"`
+}
+
+// designCanonical omits the scenario's N and K: they are outputs of the
+// design workflow, so requests differing only there must share a key.
+type designCanonical struct {
+	Scenario    scenarioEcho `json:"scenario"`
+	TargetProb  float64      `json:"target_prob"`
+	FalseAlarmP float64      `json:"false_alarm_p"`
+	Budget      float64      `json:"budget"`
+	Horizon     int          `json:"horizon"`
+	NMax        int          `json:"n_max"`
+}
+
+func (r *DesignRequest) withDefaults() {
+	if r.TargetProb == 0 {
+		r.TargetProb = 0.9
+	}
+	if r.FalseAlarmP == 0 {
+		r.FalseAlarmP = 1e-4
+	}
+	if r.Budget == 0 {
+		r.Budget = 0.01
+	}
+	if r.Horizon == 0 {
+		r.Horizon = 1440
+	}
+	if r.NMax == 0 {
+		r.NMax = 1000
+	}
+}
+
+// computeDesign sizes the rule and fleet: K from the false-alarm budget
+// (union-bound MinK), N from the detection requirement, then a K re-check
+// at the sized fleet — the analytical core of the gbd-design workflow.
+func (s *Server) computeDesign(ctx context.Context, p detect.Params, req DesignRequest) (*DesignResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	const provisionalN = 120
+	k, err := gbd.MinK(p.WithN(provisionalN), req.FalseAlarmP, req.Horizon, req.Budget)
+	if err != nil {
+		return nil, err
+	}
+	p = p.WithK(k)
+	n, err := gbd.RequiredSensors(p, req.TargetProb, req.NMax, gbd.MSOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("sizing the fleet: %w", err)
+	}
+	k2, err := gbd.MinK(p.WithN(n), req.FalseAlarmP, req.Horizon, req.Budget)
+	if err != nil {
+		return nil, err
+	}
+	if k2 != k {
+		p = p.WithK(k2)
+		n, err = gbd.RequiredSensors(p, req.TargetProb, req.NMax, gbd.MSOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("re-sizing the fleet for K=%d: %w", k2, err)
+		}
+		k = k2
+	}
+	p = p.WithN(n)
+	ana, err := gbd.AnalyzeCtx(ctx, p, gbd.MSOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &DesignResponse{
+		Scenario: echoParams(p), K: k, N: n,
+		DetectionProb: ana.DetectionProb,
+		TargetProb:    req.TargetProb, FalseAlarmP: req.FalseAlarmP,
+		Budget: req.Budget, Horizon: req.Horizon,
+	}, nil
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	var req DesignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req.withDefaults()
+	p, err := req.Scenario.params()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := designCanonical{
+		Scenario:    echoParams(p),
+		TargetProb:  req.TargetProb,
+		FalseAlarmP: req.FalseAlarmP,
+		Budget:      req.Budget,
+		Horizon:     req.Horizon,
+		NMax:        req.NMax,
+	}
+	canon.Scenario.N, canon.Scenario.K = 0, 0 // outputs, not identity
+	key, err := cacheKey("/v1/design", canon, 0)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		return s.computeDesign(ctx, p, req)
+	})
+}
+
+// ---- /v1/latency ----
+
+// LatencyResponse is the /v1/latency result: the analytical detection
+// latency CDF over sensing periods 1..M. DetectionProb is the CDF's last
+// point — the paper's end-of-window detection probability.
+type LatencyResponse struct {
+	Scenario      scenarioEcho `json:"scenario"`
+	FirstPeriod   int          `json:"first_period"`
+	P             []float64    `json:"p"`
+	DetectionProb float64      `json:"detection_prob"`
+}
+
+type latencyCanonical struct {
+	Scenario scenarioEcho   `json:"scenario"`
+	Options  AnalyzeOptions `json:"options"`
+}
+
+func (s *Server) computeLatency(ctx context.Context, p detect.Params, req LatencyRequest) (*LatencyResponse, error) {
+	cdf, err := gbd.LatencyCtx(ctx, p, req.Options.msOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &LatencyResponse{
+		Scenario:      echoParams(p),
+		FirstPeriod:   cdf.FirstPeriod,
+		P:             cdf.P,
+		DetectionProb: cdf.P[len(cdf.P)-1],
+	}, nil
+}
+
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	var req LatencyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := req.Scenario.params()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key, err := cacheKey("/v1/latency", latencyCanonical{Scenario: echoParams(p), Options: req.Options}, 0)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		return s.computeLatency(ctx, p, req)
+	})
+}
+
+// ---- /v1/simulate ----
+
+// FaultSummary echoes the fault-injection accounting of a simulated
+// campaign (zero-valued and omitted when no faults were configured).
+type FaultSummary struct {
+	Generated     int     `json:"generated"`
+	Delivered     int     `json:"delivered"`
+	Late          int     `json:"late"`
+	Lost          int     `json:"lost"`
+	Rerouted      int     `json:"rerouted"`
+	MeanAliveFrac float64 `json:"mean_alive_frac"`
+	ArrivedFrac   float64 `json:"arrived_frac"`
+}
+
+// SimulateResponse is the /v1/simulate result.
+type SimulateResponse struct {
+	Scenario      scenarioEcho  `json:"scenario"`
+	Trials        int           `json:"trials"`
+	Detections    int           `json:"detections"`
+	DetectionProb float64       `json:"detection_prob"`
+	CILo          float64       `json:"ci_lo"`
+	CIHi          float64       `json:"ci_hi"`
+	MeanReports   float64       `json:"mean_reports"`
+	Faults        *FaultSummary `json:"faults,omitempty"`
+}
+
+type simulateCanonical struct {
+	Scenario   scenarioEcho `json:"scenario"`
+	Trials     int          `json:"trials"`
+	DeadFrac   float64      `json:"dead_frac"`
+	CommRange  float64      `json:"comm_range"`
+	PerHopLoss float64      `json:"per_hop_loss"`
+	HopRetries int          `json:"hop_retries"`
+}
+
+// simConfig translates a SimulateRequest into a simulator configuration.
+// Workers is pinned to 1: intra-request parallelism is the admission
+// pool's job, and trial results are scheduling-independent anyway.
+func (s *Server) simConfig(p detect.Params, req SimulateRequest) (sim.Config, error) {
+	if req.Trials < 1 || req.Trials > s.cfg.MaxTrials {
+		return sim.Config{}, fmt.Errorf("trials = %d must be in [1, %d]: %w", req.Trials, s.cfg.MaxTrials, ErrRequest)
+	}
+	if req.DeadFrac < 0 || req.DeadFrac > 1 {
+		return sim.Config{}, fmt.Errorf("dead_frac = %v must be in [0, 1]: %w", req.DeadFrac, ErrRequest)
+	}
+	if req.PerHopLoss < 0 || req.PerHopLoss >= 1 {
+		return sim.Config{}, fmt.Errorf("per_hop_loss = %v must be in [0, 1): %w", req.PerHopLoss, ErrRequest)
+	}
+	if req.HopRetries < 0 {
+		return sim.Config{}, fmt.Errorf("hop_retries = %d must be >= 0: %w", req.HopRetries, ErrRequest)
+	}
+	cfg := sim.Config{
+		Params: p,
+		Trials: req.Trials,
+		Seed:   req.Seed,
+		Workers: 1,
+	}
+	if req.DeadFrac > 0 {
+		cfg.Faults = faults.Bernoulli{DeadFrac: req.DeadFrac}
+	}
+	if req.CommRange > 0 {
+		cfg.CommRange = req.CommRange
+		cfg.Loss = netsim.LossModel{
+			PerHopDelivery: 1 - req.PerHopLoss,
+			MaxRetries:     req.HopRetries,
+			PerHop:         10 * time.Second,
+			Backoff:        5 * time.Second,
+			Budget:         p.T,
+		}
+	}
+	return cfg, nil
+}
+
+func (s *Server) computeSimulate(ctx context.Context, p detect.Params, req SimulateRequest) (*SimulateResponse, error) {
+	cfg, err := s.simConfig(p, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SimulateResponse{
+		Scenario:      echoParams(p),
+		Trials:        res.Trials,
+		Detections:    res.Detections,
+		DetectionProb: res.DetectionProb,
+		CILo:          res.CI.Lo,
+		CIHi:          res.CI.Hi,
+		MeanReports:   res.MeanReports,
+	}
+	if cfg.Faults != nil || cfg.CommRange > 0 {
+		f := res.Faults
+		resp.Faults = &FaultSummary{
+			Generated: f.Generated, Delivered: f.Delivered,
+			Late: f.Late, Lost: f.Lost, Rerouted: f.Rerouted,
+			MeanAliveFrac: f.MeanAliveFrac, ArrivedFrac: f.ArrivedFrac(),
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, err := req.Scenario.params()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if _, err := s.simConfig(p, req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	canon := simulateCanonical{
+		Scenario: echoParams(p), Trials: req.Trials,
+		DeadFrac: req.DeadFrac, CommRange: req.CommRange,
+		PerHopLoss: req.PerHopLoss, HopRetries: req.HopRetries,
+	}
+	// Seed participates through the fingerprint's seed slot: campaigns
+	// are deterministic per (config, seed), so caching them is sound.
+	key, err := cacheKey("/v1/simulate", canon, req.Seed)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		return s.computeSimulate(ctx, p, req)
+	})
+}
+
+// ---- /v1/experiments/{id} ----
+
+// TableResponse is a rendered experiment table.
+type TableResponse struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+type experimentCanonical struct {
+	ID     string `json:"id"`
+	Quick  bool   `json:"quick"`
+	Trials int    `json:"trials"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiments.Lookup(id); !ok {
+		serveErrors.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		resp, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("unknown experiment %q", id)})
+		w.Write(append(resp, '\n'))
+		return
+	}
+	q := r.URL.Query()
+	quick := q.Get("quick") != "0" // interactive default: reduced sweeps
+	trials := 0
+	if v := q.Get("trials"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &trials); err != nil || trials < 0 || trials > s.cfg.MaxTrials {
+			s.writeError(w, fmt.Errorf("trials = %q must be an integer in [0, %d]: %w", v, s.cfg.MaxTrials, ErrRequest))
+			return
+		}
+	}
+	seed := int64(1)
+	if v := q.Get("seed"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &seed); err != nil {
+			s.writeError(w, fmt.Errorf("seed = %q must be an integer: %w", v, ErrRequest))
+			return
+		}
+	}
+	key, err := cacheKey("/v1/experiments", experimentCanonical{ID: id, Quick: quick, Trials: trials}, seed)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		tbl, err := experiments.RunOne(id, experiments.Options{
+			Trials:       trials,
+			Seed:         seed,
+			Quick:        quick,
+			SweepWorkers: s.cfg.SweepWorkers,
+			Ctx:          ctx,
+			Retries:      s.cfg.Retries,
+			RetryBackoff: s.cfg.RetryBackoff,
+			PointTimeout: s.cfg.PointTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &TableResponse{
+			ID: tbl.ID, Title: tbl.Title,
+			Columns: tbl.Columns, Rows: tbl.Rows, Notes: tbl.Notes,
+		}, nil
+	})
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", []byte("A"))
+	c.add("b", []byte("B"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	// a was just touched, so adding c evicts b (the LRU entry).
+	c.add("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d, want 2", got)
+	}
+}
+
+func TestCacheLookupAccounting(t *testing.T) {
+	c := newResultCache(4)
+	lookups0, hits0, misses0 := cacheLookups.Value(), cacheHits.Value(), cacheMisses.Value()
+	c.get("x")
+	c.add("x", []byte("X"))
+	c.get("x")
+	c.get("y")
+	lookups := cacheLookups.Value() - lookups0
+	hits := cacheHits.Value() - hits0
+	misses := cacheMisses.Value() - misses0
+	if lookups != 3 || hits != 1 || misses != 2 {
+		t.Errorf("lookups/hits/misses = %d/%d/%d, want 3/1/2", lookups, hits, misses)
+	}
+	if hits+misses != lookups {
+		t.Errorf("hits+misses = %d, want == lookups %d", hits+misses, lookups)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.add("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache should never hit")
+	}
+}
+
+func TestFlightDedup(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const followers = 8
+	var wg sync.WaitGroup
+	leaderIn := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body, err, shared := g.do("k", func() ([]byte, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-gate
+			return []byte("result"), nil
+		})
+		if err != nil || string(body) != "result" || shared {
+			t.Errorf("leader: body=%q err=%v shared=%v", body, err, shared)
+		}
+	}()
+	<-leaderIn // the flight is provably in progress
+	sharedCount := atomic.Int64{}
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err, shared := g.do("k", func() ([]byte, error) {
+				calls.Add(1)
+				return []byte("result"), nil
+			})
+			if err != nil || string(body) != "result" {
+				t.Errorf("follower: body=%q err=%v", body, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Give the followers a moment to join the flight, then land it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	// Every caller that joined while the leader ran shares its single
+	// execution; stragglers that arrived after landing start a new one.
+	if calls.Load() > 2 {
+		t.Errorf("fn ran %d times, want at most 2 (one flight + stragglers)", calls.Load())
+	}
+	if sharedCount.Load() == 0 {
+		t.Error("no follower shared the leader's flight")
+	}
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	a := newAdmission(1, 2)
+	ctx := context.Background()
+	release, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two waiters fill the queue.
+	type res struct {
+		release func()
+		err     error
+	}
+	waiters := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := a.acquire(ctx)
+			waiters <- res{r, err}
+		}()
+	}
+	// Wait until both are provably parked inside acquire.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: queued = %d", a.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The third concurrent claim overflows the bound: immediate rejection.
+	if _, err := a.acquire(ctx); err != ErrOverloaded {
+		t.Errorf("overflow acquire: err = %v, want ErrOverloaded", err)
+	}
+	// A queued waiter whose deadline expires leaves with the ctx error.
+	release()
+	r1 := <-waiters
+	if r1.err != nil {
+		t.Fatalf("first waiter: %v", r1.err)
+	}
+	expired, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(expired); err != context.DeadlineExceeded {
+		// The pool is still full (r1 holds it), so this must time out.
+		t.Errorf("deadline acquire: err = %v, want DeadlineExceeded", err)
+	}
+	r1.release()
+	r2 := <-waiters
+	if r2.err != nil {
+		t.Fatalf("second waiter: %v", r2.err)
+	}
+	r2.release()
+}
+
+func TestAdmissionRelease(t *testing.T) {
+	a := newAdmission(2, 4)
+	ctx := context.Background()
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		r, err := a.acquire(ctx)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	for _, r := range releases {
+		r()
+	}
+	// The pool is free again: a fresh claim succeeds immediately.
+	done := make(chan error, 1)
+	go func() {
+		r, err := a.acquire(ctx)
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire blocked after all slots were released")
+	}
+}
+
+func TestApplyAxis(t *testing.T) {
+	base, err := Scenario{}.params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := applyAxis(base, AxisN, 60)
+	if err != nil || p.N != 60 {
+		t.Errorf("AxisN: N = %d err = %v", p.N, err)
+	}
+	if _, err := applyAxis(base, AxisN, 60.5); err == nil {
+		t.Error("fractional n should be rejected, not truncated")
+	}
+	if _, err := applyAxis(base, AxisK, 2.5); err == nil {
+		t.Error("fractional k should be rejected")
+	}
+	p, err = applyAxis(base, AxisV, 5.5)
+	if err != nil || p.V != 5.5 {
+		t.Errorf("AxisV: V = %v err = %v", p.V, err)
+	}
+	if _, err := applyAxis(base, AxisPd, 1.5); err == nil {
+		t.Error("pd out of range should be rejected")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	for name, got := range map[string]bool{
+		"cache":        cfg.CacheEntries == 1024,
+		"workers":      cfg.Workers >= 1,
+		"queue":        cfg.QueueDepth == 4*cfg.Workers,
+		"timeout":      cfg.RequestTimeout == 30*time.Second,
+		"trials":       cfg.MaxTrials == 200000,
+		"sweep points": cfg.MaxSweepPoints == 512,
+		"sweepWorkers": cfg.SweepWorkers == 1,
+	} {
+		if !got {
+			t.Errorf("default %s wrong: %+v", name, cfg)
+		}
+	}
+	neg := Config{CacheEntries: -1}.withDefaults()
+	if neg.CacheEntries != -1 {
+		t.Errorf("negative CacheEntries should survive as disabled, got %d", neg.CacheEntries)
+	}
+}

@@ -1,6 +1,8 @@
 package gbd
 
 import (
+	"context"
+
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/sim"
@@ -64,6 +66,14 @@ type LatencyCDF = detect.LatencyCDF
 // probability.
 func Latency(p Params, opt MSOptions) (LatencyCDF, error) {
 	return detect.DetectionLatency(p, opt)
+}
+
+// LatencyCtx is Latency under a context: cancellation is observed between
+// per-period window evaluations, so a caller with an expired deadline
+// waits at most one M-S-approach run. A run that completes is identical
+// to Latency.
+func LatencyCtx(ctx context.Context, p Params, opt MSOptions) (LatencyCDF, error) {
+	return detect.DetectionLatencyCtx(ctx, p, opt)
 }
 
 // RequiredSensors returns the smallest N in [1, nMax] whose analytical
