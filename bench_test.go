@@ -17,9 +17,14 @@ import (
 	"testing"
 	"time"
 
+	"context"
+	"path/filepath"
+
 	gbd "github.com/groupdetect/gbd"
 	"github.com/groupdetect/gbd/internal/coverage"
 	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/fabric"
+	"github.com/groupdetect/gbd/internal/fabric/chaos"
 	"github.com/groupdetect/gbd/internal/falsealarm"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
@@ -476,4 +481,70 @@ func BenchmarkFaultyTrial(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// coordinatorBench runs one full fan-out campaign (12 points, 4 shards)
+// over the given worker URLs with a fresh ledger per iteration.
+func coordinatorBench(b *testing.B, workers []string) {
+	b.Helper()
+	req := serve.SweepRequest{Axis: serve.AxisN, Trials: 50, Seed: 7}
+	for n := 60; n < 300; n += 20 {
+		req.Values = append(req.Values, float64(n))
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := fabric.Config{
+			Workers:          workers,
+			Request:          req,
+			LedgerPath:       filepath.Join(dir, fmt.Sprintf("ledger-%d.json", i)),
+			ShardSize:        3,
+			Retries:          10,
+			RetryBackoff:     time.Millisecond,
+			StallTimeout:     10 * time.Second,
+			MaxHedges:        0,
+			CircuitThreshold: 2,
+			CircuitCooldown:  10 * time.Millisecond,
+			Tick:             time.Millisecond,
+		}
+		c, err := fabric.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoordinatorFanout measures a distributed sweep campaign over a
+// healthy 3-worker fleet: shard dispatch, NDJSON reassembly, and ledger
+// persistence on top of the raw sweep compute.
+func BenchmarkCoordinatorFanout(b *testing.B) {
+	var workers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer ts.Close()
+		workers = append(workers, ts.URL)
+	}
+	coordinatorBench(b, workers)
+}
+
+// BenchmarkCoordinatorFanoutDegraded is the same campaign with one of the
+// three workers answering 503 on every other request: the price of
+// retries, backoff, and circuit breaking relative to the clean fleet.
+func BenchmarkCoordinatorFanoutDegraded(b *testing.B) {
+	var workers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer ts.Close()
+		workers = append(workers, ts.URL)
+	}
+	p, err := chaos.Start(chaos.Config{Seed: 5, Target: workers[2], Err503Every: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	workers[2] = p.URL()
+	coordinatorBench(b, workers)
 }

@@ -1,17 +1,18 @@
 // Command gbd-bench runs the hot-path benchmarks in-process via
 // testing.Benchmark and emits a machine-readable JSON report, so CI and
 // the committed BENCH_*.json snapshots (BENCH_PR2.json through
-// BENCH_PR5.json) use the same measurement path as `go test -bench`. The
+// BENCH_PR6.json) use the same measurement path as `go test -bench`. The
 // benchmark bodies mirror bench_test.go exactly; this command exists
 // because test binaries cannot be imported, while the tracked snapshots
 // must be regenerable with one command.
 //
 // Usage:
 //
-//	gbd-bench [-out BENCH_PR5.json]
+//	gbd-bench [-out BENCH_PR6.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,11 +20,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/fabric"
+	"github.com/groupdetect/gbd/internal/fabric/chaos"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
@@ -62,6 +66,8 @@ var benchmarks = []struct {
 	{"ServedAnalyzeCold", benchServedAnalyzeCold},
 	{"ServedAnalyzeCached", benchServedAnalyzeCached},
 	{"ServedAnalyzeConcurrent", benchServedAnalyzeConcurrent},
+	{"CoordinatorFanout", benchCoordinatorFanout},
+	{"CoordinatorFanoutDegraded", benchCoordinatorFanoutDegraded},
 }
 
 func run(args []string) (err error) {
@@ -266,4 +272,70 @@ func benchCommCheck(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// coordinatorBench runs one full fan-out campaign (12 points, 4 shards)
+// over the given worker URLs with a fresh ledger per iteration.
+func coordinatorBench(b *testing.B, workers []string) {
+	b.Helper()
+	req := serve.SweepRequest{Axis: serve.AxisN, Trials: 50, Seed: 7}
+	for n := 60; n < 300; n += 20 {
+		req.Values = append(req.Values, float64(n))
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := fabric.Config{
+			Workers:          workers,
+			Request:          req,
+			LedgerPath:       filepath.Join(dir, fmt.Sprintf("ledger-%d.json", i)),
+			ShardSize:        3,
+			Retries:          10,
+			RetryBackoff:     time.Millisecond,
+			StallTimeout:     10 * time.Second,
+			MaxHedges:        0,
+			CircuitThreshold: 2,
+			CircuitCooldown:  10 * time.Millisecond,
+			Tick:             time.Millisecond,
+		}
+		c, err := fabric.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCoordinatorFanout measures a distributed sweep campaign over a
+// healthy 3-worker fleet: shard dispatch, NDJSON reassembly, and ledger
+// persistence on top of the raw sweep compute.
+func benchCoordinatorFanout(b *testing.B) {
+	var workers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer ts.Close()
+		workers = append(workers, ts.URL)
+	}
+	coordinatorBench(b, workers)
+}
+
+// benchCoordinatorFanoutDegraded is the same campaign with one of the
+// three workers answering 503 on every other request: the price of
+// retries, backoff, and circuit breaking relative to the clean fleet.
+func benchCoordinatorFanoutDegraded(b *testing.B) {
+	var workers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer ts.Close()
+		workers = append(workers, ts.URL)
+	}
+	p, err := chaos.Start(chaos.Config{Seed: 5, Target: workers[2], Err503Every: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	workers[2] = p.URL()
+	coordinatorBench(b, workers)
 }

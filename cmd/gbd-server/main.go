@@ -70,6 +70,7 @@ func run(args []string, w io.Writer) (err error) {
 		sweepWorkers = fs.Int("sweep-workers", 1, "concurrent points inside one sweep stream (0 = 1)")
 		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between sweep point retries")
 		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
+		heartbeat    = fs.Duration("sweep-heartbeat", 5*time.Second, "keep-alive heartbeat period on idle /v1/sweep streams (negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	)
 	// The sweep fault policy flag answers to both spellings of the shared
@@ -104,16 +105,17 @@ func run(args []string, w io.Writer) (err error) {
 	defer cancel()
 
 	cfg := serve.Config{
-		CacheEntries:   *cacheEntries,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		MaxTrials:      *maxTrials,
-		MaxSweepPoints: *maxPoints,
-		SweepWorkers:   *sweepWorkers,
-		Retries:        pointRetries,
-		RetryBackoff:   *retryBackoff,
-		PointTimeout:   *pointTimeout,
+		CacheEntries:      *cacheEntries,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		RequestTimeout:    *reqTimeout,
+		MaxTrials:         *maxTrials,
+		MaxSweepPoints:    *maxPoints,
+		SweepWorkers:      *sweepWorkers,
+		Retries:           pointRetries,
+		RetryBackoff:      *retryBackoff,
+		PointTimeout:      *pointTimeout,
+		HeartbeatInterval: *heartbeat,
 	}
 	sess.SetParams(cfg)
 	srv := serve.New(cfg)

@@ -93,6 +93,12 @@ func Create(path, fingerprint string) (*Store, error) {
 // Resume opens an existing checkpoint at path, validating the file and
 // the fingerprint. A missing, corrupt, or stale checkpoint is an error —
 // a resumed run must never silently recompute or merge.
+//
+// A crash between the temp-file write and the atomic rename (the torn-
+// write window) leaves the previous complete checkpoint at path plus a
+// stray temp file: Resume reads the previous checkpoint — the interrupted
+// Put's point is simply absent and gets recomputed — and sweeps the dead
+// temp files so they cannot accumulate across repeated crashes.
 func Resume(path, fingerprint string) (*Store, error) {
 	s, err := Create(path, fingerprint)
 	if err != nil {
@@ -107,6 +113,11 @@ func Resume(path, fingerprint string) (*Store, error) {
 		return nil, err
 	}
 	s.points = points
+	if stale, err := filepath.Glob(path + ".tmp-*"); err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
 	resumes.Inc()
 	return s, nil
 }
@@ -136,6 +147,44 @@ func (s *Store) Get(key string, out any) (bool, error) {
 	}
 	pointsRestored.Inc()
 	return true, nil
+}
+
+// Keys returns every recorded point key, in no particular order. The
+// fabric work ledger uses it to find which points a resumed campaign
+// still owes.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.points))
+	for k := range s.points {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// PutBatch records several completed points and persists the checkpoint
+// once, amortizing the atomic rewrite over the whole batch — the fabric
+// ledger commits one shard of sweep rows per call this way. Either every
+// point in the batch lands on disk or none does.
+func (s *Store) PutBatch(points map[string]any) error {
+	encoded := make(map[string]json.RawMessage, len(points))
+	for k, v := range points {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("checkpoint: encode point %q: %w", k, err)
+		}
+		encoded[k] = raw
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, raw := range encoded {
+		s.points[k] = raw
+	}
+	if err := s.persistLocked(); err != nil {
+		return err
+	}
+	pointsSaved.Add(uint64(len(encoded)))
+	return nil
 }
 
 // Put records the completed point under key and persists the whole

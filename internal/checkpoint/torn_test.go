@@ -1,0 +1,127 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResumeAfterTornWrite simulates the crash window of the atomic-write
+// protocol: a kill between the temp-file write and the rename leaves the
+// previous complete checkpoint at the store path plus a stray temp file.
+// Resume must treat the interrupted point as simply incomplete — load the
+// previous checkpoint, not fail corrupt-fatal — and sweep the dead temp
+// file. This complements the codec fuzz test, which covers corruption of
+// the checkpoint file itself.
+func TestResumeAfterTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	const fp = "fp-torn"
+
+	s, err := Create(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fig8/0", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fig8/1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn write: the next Put got as far as writing its temp file —
+	// full or truncated — but was killed before the rename. Reproduce both
+	// shapes the crash can leave behind.
+	full, err := Encode(fp, map[string]json.RawMessage{
+		"fig8/0": json.RawMessage(`0.25`),
+		"fig8/1": json.RawMessage(`0.5`),
+		"fig8/2": json.RawMessage(`0.75`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, torn := range []struct {
+		name string
+		data []byte
+	}{
+		{path + ".tmp-123456", full},
+		{path + ".tmp-654321", full[:len(full)/2]},
+	} {
+		if err := os.WriteFile(torn.name, torn.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := Resume(path, fp)
+	if err != nil {
+		t.Fatalf("resume after torn write must succeed with the previous checkpoint: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("resumed %d points, want the 2 that were durably renamed", r.Len())
+	}
+	var v float64
+	if ok, err := r.Get("fig8/1", &v); err != nil || !ok || v != 0.5 {
+		t.Fatalf("durable point lost: ok=%v v=%v err=%v", ok, v, err)
+	}
+	if ok, _ := r.Get("fig8/2", &v); ok {
+		t.Fatal("the torn point must be incomplete, not restored from a temp file")
+	}
+
+	stale, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale temp files survived resume: %v", stale)
+	}
+
+	// The resumed store keeps working: recomputing the torn point and
+	// persisting it must round-trip through a fresh resume.
+	if err := r.Put("fig8/2", 0.75); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Resume(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 3 {
+		t.Fatalf("after recompute resumed %d points, want 3", r2.Len())
+	}
+}
+
+// TestPutBatch checks the batched persistence path the fabric ledger
+// uses: one atomic rewrite lands the whole batch, and a resume sees every
+// key.
+func TestPutBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.ckpt")
+	const fp = "fp-batch"
+
+	s, err := Create(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := map[string]any{
+		"row/0": json.RawMessage(`{"index":0}`),
+		"row/1": json.RawMessage(`{"index":1}`),
+		"row/2": json.RawMessage(`{"index":2}`),
+	}
+	if err := s.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := r.Keys()
+	if len(keys) != len(batch) {
+		t.Fatalf("resumed %d keys, want %d", len(keys), len(batch))
+	}
+	for k := range batch {
+		var raw json.RawMessage
+		if ok, err := r.Get(k, &raw); err != nil || !ok {
+			t.Fatalf("batch key %q missing after resume: ok=%v err=%v", k, ok, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Per-worker health tracking: a consecutive-failure circuit breaker with
+// re-admission probes. All state is owned by the coordinator's scheduler
+// goroutine — no locks — and transitions are reported back so they land in
+// metrics and the event log.
+package fabric
+
+import "time"
+
+type breakerState int
+
+const (
+	// breakerClosed admits dispatches normally.
+	breakerClosed breakerState = iota
+	// breakerOpen refuses dispatches until the cooldown elapses.
+	breakerOpen
+	// breakerProbing has exactly one re-admission probe in flight; no
+	// other dispatch is admitted until the probe reports.
+	breakerProbing
+)
+
+// breaker is the consecutive-transport-failure circuit for one worker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	fails     int
+	openedAt  time.Time
+}
+
+// admissible reports whether a new dispatch may go to this worker at now.
+// An open breaker becomes admissible once per cooldown: that dispatch is
+// the re-admission probe.
+func (b *breaker) admissible(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	default: // probing: the single probe slot is taken
+		return false
+	}
+}
+
+// onDispatch transitions an open-but-cooled breaker into the probing
+// state; it reports whether this dispatch is the re-admission probe.
+func (b *breaker) onDispatch() (probe bool) {
+	if b.state == breakerOpen {
+		b.state = breakerProbing
+		return true
+	}
+	return false
+}
+
+// onSuccess closes the circuit (probe success re-admits the worker).
+func (b *breaker) onSuccess() {
+	b.fails = 0
+	b.state = breakerClosed
+}
+
+// onFailure records one transport failure and reports whether it opened
+// (or re-opened) the circuit: a failed probe re-opens immediately, and a
+// closed breaker opens at the consecutive-failure threshold.
+func (b *breaker) onFailure(now time.Time) (opened bool) {
+	b.fails++
+	switch b.state {
+	case breakerProbing:
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerClosed:
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one remote gbd-server in the fleet, with its breaker, its
+// current dispatch load, and its metric handles.
+type worker struct {
+	idx      int
+	url      string
+	br       breaker
+	inflight int
+	m        workerMetrics
+}

@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/groupdetect/gbd/internal/obs"
+)
+
+// Fleet-wide metric handles, resolved once at package init (DESIGN.md §9).
+// Every retry, hedge, stall, and circuit transition lands in a counter, so
+// the coordinator's run manifest is a complete failure-handling record of
+// the campaign and gbd-server's /metrics shows the worker-side mirror
+// (serve.sweep.streams / serve.sweep.heartbeats).
+var (
+	fabricShards       = obs.Default.Counter("fabric.shards")
+	fabricDispatched   = obs.Default.Counter("fabric.shards.dispatched")
+	fabricCompleted    = obs.Default.Counter("fabric.shards.completed")
+	fabricRetried      = obs.Default.Counter("fabric.shards.retried")
+	fabricHedged       = obs.Default.Counter("fabric.shards.hedged")
+	fabricDupResults   = obs.Default.Counter("fabric.shards.duplicate_results")
+	fabricFailed       = obs.Default.Counter("fabric.shards.failed")
+	fabricRows         = obs.Default.Counter("fabric.rows")
+	fabricRowsRestored = obs.Default.Counter("fabric.rows.restored")
+	fabricHeartbeats   = obs.Default.Counter("fabric.heartbeats")
+	fabricStalls       = obs.Default.Counter("fabric.stalls")
+	fabricCircuitOpens = obs.Default.Counter("fabric.circuit.opens")
+	fabricProbes       = obs.Default.Counter("fabric.circuit.probes")
+	fabricInflight     = obs.Default.Gauge("fabric.shards.inflight")
+	fabricInflightMax  = obs.Default.Gauge("fabric.shards.inflight.max")
+)
+
+// workerMetrics are the per-worker counters, registered when a
+// coordinator is built (once per worker, not per event) under
+// fabric.worker.<index>.<event>.
+type workerMetrics struct {
+	dispatched   *obs.Counter
+	completed    *obs.Counter
+	retried      *obs.Counter
+	hedged       *obs.Counter
+	failures     *obs.Counter
+	circuitOpens *obs.Counter
+}
+
+func newWorkerMetrics(idx int) workerMetrics {
+	name := func(event string) string {
+		return fmt.Sprintf("fabric.worker.%d.%s", idx, event)
+	}
+	return workerMetrics{
+		dispatched:   obs.Default.Counter(name("dispatched")),
+		completed:    obs.Default.Counter(name("completed")),
+		retried:      obs.Default.Counter(name("retried")),
+		hedged:       obs.Default.Counter(name("hedged")),
+		failures:     obs.Default.Counter(name("failures")),
+		circuitOpens: obs.Default.Counter(name("circuit.opens")),
+	}
+}

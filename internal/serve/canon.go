@@ -206,6 +206,24 @@ type SweepRequest struct {
 	// KeepGoing finishes the sweep past point failures, emitting error
 	// rows (gbd-faults -keep-going; sweep.Options.Degrade).
 	KeepGoing bool `json:"keep_going,omitempty"`
+	// IndexBase offsets the Index field of every emitted row. A sweep
+	// coordinator dispatching a shard of a larger grid sets it to the
+	// shard's global starting index, so worker rows carry campaign-global
+	// indexes and merge byte-identically with a single-machine stream.
+	IndexBase int `json:"index_base,omitempty"`
+	// HeartbeatMS overrides the server's heartbeat interval for this
+	// stream (Config.HeartbeatInterval): while no data row is ready, the
+	// stream emits `{"hb":true}` lines at this period so proxies, idle
+	// timeouts, and the coordinator's stall detector all see a live
+	// connection through slow sweep points. 0 keeps the server default.
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+}
+
+// Heartbeat is the NDJSON keep-alive row interleaved into /v1/sweep
+// streams between data rows. Consumers identify it by the "hb" field and
+// must not count it as a sweep point.
+type Heartbeat struct {
+	HB bool `json:"hb"`
 }
 
 // decodeJSON strictly decodes r's body into v: unknown fields and

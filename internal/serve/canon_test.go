@@ -49,10 +49,10 @@ func TestCanonicalization(t *testing.T) {
 			b:    "{\n  \"scenario\": {\n    \"n\": 100\n  }\n}", sameKey: true,
 		},
 		{
-			name: "explicitly spelled defaults",
-			path: "/v1/analyze",
-			a:    `{"scenario":{}}`,
-			b:    `{"scenario":{"n":120,"field_side":32000,"rs":1000,"v":10,"period_seconds":60,"pd":0.9,"m":20,"k":5}}`,
+			name:    "explicitly spelled defaults",
+			path:    "/v1/analyze",
+			a:       `{"scenario":{}}`,
+			b:       `{"scenario":{"n":120,"field_side":32000,"rs":1000,"v":10,"period_seconds":60,"pd":0.9,"m":20,"k":5}}`,
 			sameKey: true,
 		},
 		{
@@ -153,10 +153,10 @@ func TestStrictDecoding(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
 	for _, body := range []string{
-		`{"scenario":{"sensors":120}}`,     // unknown scenario field
-		`{"scenarios":{}}`,                 // unknown top-level field
-		`{"scenario":{}} {"scenario":{}}`,  // trailing data
-		`{"scenario":{"n":"many"}}`,        // type mismatch
+		`{"scenario":{"sensors":120}}`,    // unknown scenario field
+		`{"scenarios":{}}`,                // unknown top-level field
+		`{"scenario":{}} {"scenario":{}}`, // trailing data
+		`{"scenario":{"n":"many"}}`,       // type mismatch
 		`not json`,
 	} {
 		code, _, respBody := post(t, ts, "/v1/analyze", body)

@@ -30,6 +30,7 @@ var (
 
 	serveLatency = obs.Default.Histogram("serve.latency.seconds", obs.SecondsBuckets())
 
-	sweepStreams = obs.Default.Counter("serve.sweep.streams")
-	sweepRows    = obs.Default.Counter("serve.sweep.rows")
+	sweepStreams    = obs.Default.Counter("serve.sweep.streams")
+	sweepRows       = obs.Default.Counter("serve.sweep.rows")
+	sweepHeartbeats = obs.Default.Counter("serve.sweep.heartbeats")
 )

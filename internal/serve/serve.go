@@ -73,6 +73,11 @@ type Config struct {
 	Retries      int
 	RetryBackoff time.Duration
 	PointTimeout time.Duration
+	// HeartbeatInterval is the default period between `{"hb":true}`
+	// keep-alive rows on /v1/sweep streams while no data row is ready
+	// (default 5s; negative disables heartbeats). SweepRequest.HeartbeatMS
+	// overrides it per stream.
+	HeartbeatInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 5 * time.Second
 	}
 	return c
 }
@@ -557,9 +565,9 @@ func (s *Server) simConfig(p detect.Params, req SimulateRequest) (sim.Config, er
 		return sim.Config{}, fmt.Errorf("hop_retries = %d must be >= 0: %w", req.HopRetries, ErrRequest)
 	}
 	cfg := sim.Config{
-		Params: p,
-		Trials: req.Trials,
-		Seed:   req.Seed,
+		Params:  p,
+		Trials:  req.Trials,
+		Seed:    req.Seed,
 		Workers: 1,
 	}
 	if req.DeadFrac > 0 {

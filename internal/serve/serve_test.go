@@ -320,7 +320,81 @@ func TestMethodNotAllowed(t *testing.T) {
 	}
 }
 
-// parseRows splits an NDJSON body into SweepRows.
+func TestSweepIndexBase(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	code, _, body := post(t, ts, "/v1/sweep",
+		`{"scenario":{},"axis":"n","values":[60,120],"index_base":7}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	rows := parseRows(t, body)
+	if len(rows) != 2 || rows[0].Index != 7 || rows[1].Index != 8 {
+		t.Fatalf("index_base not applied: %+v", rows)
+	}
+
+	// Error and skipped rows must carry the offset too: a coordinator
+	// matches rows to its global grid purely by index.
+	code, _, body = post(t, ts, "/v1/sweep",
+		`{"scenario":{},"axis":"n","values":[-5,120],"index_base":3}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	rows = parseRows(t, body)
+	if len(rows) != 2 || rows[0].Index != 3 || rows[1].Index != 4 {
+		t.Fatalf("index_base missing on error/skipped rows: %+v", rows)
+	}
+	if rows[0].Error == "" || rows[1].Error == "" {
+		t.Fatalf("expected error + skipped rows: %+v", rows)
+	}
+
+	code, _, body = post(t, ts, "/v1/sweep",
+		`{"scenario":{},"axis":"n","values":[60],"index_base":-1}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative index_base: status %d: %s", code, body)
+	}
+}
+
+func TestSweepHeartbeat(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	// A Monte Carlo point slow enough to span several 25ms heartbeat
+	// periods: the stream must stay alive with {"hb":true} rows while the
+	// point computes, then deliver the data row.
+	code, _, body := post(t, ts, "/v1/sweep",
+		`{"scenario":{},"axis":"n","values":[120],"trials":20000,"seed":1,"heartbeat_ms":25}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	hb := 0
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if isHeartbeatLine(line) {
+			hb++
+		}
+	}
+	if hb == 0 {
+		t.Errorf("no heartbeat rows on a slow stream:\n%s", body)
+	}
+	rows := parseRows(t, body)
+	if len(rows) != 1 || rows[0].Error != "" || rows[0].Simulation == nil {
+		t.Fatalf("data row missing or broken among heartbeats: %+v", rows)
+	}
+
+	code, _, body = post(t, ts, "/v1/sweep",
+		`{"scenario":{},"axis":"n","values":[60],"heartbeat_ms":-1}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative heartbeat_ms: status %d: %s", code, body)
+	}
+}
+
+// isHeartbeatLine reports whether an NDJSON line is a keep-alive row.
+func isHeartbeatLine(line []byte) bool {
+	var hb Heartbeat
+	return len(bytes.TrimSpace(line)) > 0 && json.Unmarshal(line, &hb) == nil && hb.HB
+}
+
+// parseRows splits an NDJSON body into SweepRows, skipping keep-alive
+// heartbeat lines.
 func parseRows(t *testing.T, body []byte) []SweepRow {
 	t.Helper()
 	var rows []SweepRow
@@ -328,7 +402,7 @@ func parseRows(t *testing.T, body []byte) []SweepRow {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		if line == "" || isHeartbeatLine([]byte(line)) {
 			continue
 		}
 		var row SweepRow

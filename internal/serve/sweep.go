@@ -57,7 +57,22 @@ func (s *Server) validateSweep(req SweepRequest) error {
 	if req.RetryBackoffMS < 0 || req.PointTimeoutMS < 0 {
 		return fmt.Errorf("retry_backoff_ms and point_timeout_ms must be >= 0: %w", ErrRequest)
 	}
+	if req.IndexBase < 0 {
+		return fmt.Errorf("index_base = %d must be >= 0: %w", req.IndexBase, ErrRequest)
+	}
+	if req.HeartbeatMS < 0 {
+		return fmt.Errorf("heartbeat_ms = %d must be >= 0: %w", req.HeartbeatMS, ErrRequest)
+	}
 	return nil
+}
+
+// heartbeatInterval resolves the stream's keep-alive period: the request
+// override when set, the server default otherwise; <= 0 disables.
+func (s *Server) heartbeatInterval(req SweepRequest) time.Duration {
+	if req.HeartbeatMS > 0 {
+		return time.Duration(req.HeartbeatMS) * time.Millisecond
+	}
+	return s.cfg.HeartbeatInterval
 }
 
 // sweepPolicy resolves the request's fault policy against the server
@@ -123,7 +138,7 @@ func applyAxis(p detect.Params, axis SweepAxis, v float64) (detect.Params, error
 // sweepPoint computes one row: the analytical detection probability at
 // the point's scenario, plus a Monte Carlo column when trials > 0.
 func (s *Server) sweepPoint(ctx context.Context, base detect.Params, req SweepRequest, i int, v float64) (SweepRow, error) {
-	row := SweepRow{Index: i, Axis: req.Axis, Value: v}
+	row := SweepRow{Index: req.IndexBase + i, Axis: req.Axis, Value: v}
 	p, err := applyAxis(base, req.Axis, v)
 	if err != nil {
 		return row, err
@@ -215,18 +230,44 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	// While no data row is ready, keep-alive heartbeats hold the stream
+	// open through slow points: proxies and client idle timeouts see
+	// bytes, and a sweep coordinator's stall detector can tell "worker
+	// still computing" from "worker dead". Heartbeats only ever appear
+	// between data rows (one goroutine writes), never inside one.
+	hbLine, _ := json.Marshal(Heartbeat{HB: true})
+	hbLine = append(hbLine, '\n')
+	var hbC <-chan time.Time
+	if d := s.heartbeatInterval(req); d > 0 {
+		ticker := time.NewTicker(d)
+		defer ticker.Stop()
+		hbC = ticker.C
+	}
 	pending := make(map[int]SweepRow)
 	next := 0
-	for ir := range ch {
-		pending[ir.i] = ir.row
-		for {
-			row, ok := pending[next]
+	for ch != nil {
+		select {
+		case ir, ok := <-ch:
 			if !ok {
-				break
+				ch = nil
+				continue
 			}
-			emit(row)
-			delete(pending, next)
-			next++
+			pending[ir.i] = ir.row
+			for {
+				row, ok := pending[next]
+				if !ok {
+					break
+				}
+				emit(row)
+				delete(pending, next)
+				next++
+			}
+		case <-hbC:
+			w.Write(hbLine)
+			sweepHeartbeats.Inc()
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 	}
 
@@ -244,7 +285,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			delete(pending, next)
 			continue
 		}
-		row := SweepRow{Index: next, Axis: req.Axis, Value: req.Values[next]}
+		row := SweepRow{Index: req.IndexBase + next, Axis: req.Axis, Value: req.Values[next]}
 		switch {
 		case failed[next] != nil:
 			row.Error = failed[next].Err.Error()

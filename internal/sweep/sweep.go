@@ -229,7 +229,7 @@ func runPoint[T, R any](ctx context.Context, opt Options, i int, item T, fn func
 		}
 		if a < opt.Retries {
 			sweepRetries.Inc()
-			if !sleepCtx(ctx, backoffDelay(opt.Backoff, i, a)) {
+			if !sleepCtx(ctx, BackoffDelay(opt.Backoff, i, a)) {
 				break
 			}
 		}
@@ -266,11 +266,12 @@ func attemptPoint[T, R any](ctx context.Context, opt Options, i int, item T, fn 
 	return r, err
 }
 
-// backoffDelay is the jittered exponential backoff before retry `attempt`
-// of point `index`: Backoff * 2^attempt scaled by a deterministic jitter
+// BackoffDelay is the jittered exponential backoff before retry `attempt`
+// of point `index`: base * 2^attempt scaled by a deterministic jitter
 // factor in [0.5, 1.5) so simultaneous retries of neighboring points
-// spread out without consuming any RNG state.
-func backoffDelay(base time.Duration, index, attempt int) time.Duration {
+// spread out without consuming any RNG state. Exported because the fabric
+// coordinator applies the same policy to shard re-dispatches.
+func BackoffDelay(base time.Duration, index, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}

@@ -348,8 +348,8 @@ func TestBackoffDelayDeterministic(t *testing.T) {
 	base := 10 * time.Millisecond
 	for attempt := 0; attempt < 4; attempt++ {
 		for index := 0; index < 8; index++ {
-			d1 := backoffDelay(base, index, attempt)
-			d2 := backoffDelay(base, index, attempt)
+			d1 := BackoffDelay(base, index, attempt)
+			d2 := BackoffDelay(base, index, attempt)
 			if d1 != d2 {
 				t.Fatalf("jitter not deterministic at (%d, %d): %v vs %v", index, attempt, d1, d2)
 			}
@@ -360,7 +360,7 @@ func TestBackoffDelayDeterministic(t *testing.T) {
 			}
 		}
 	}
-	if d := backoffDelay(0, 3, 1); d != 0 {
+	if d := BackoffDelay(0, 3, 1); d != 0 {
 		t.Errorf("zero base should not delay, got %v", d)
 	}
 }
