@@ -112,8 +112,24 @@ func BenchmarkFig9cSimulationRandomWalk(b *testing.B) {
 }
 
 // BenchmarkSimulationSingleTrial isolates the per-trial cost (deployment,
-// spatial index, 20 sensing periods).
+// spatial index, 20 sensing periods) under the counter-based RNG scheme —
+// the headline number the PR-7 bench gate tracks. The legacy scheme's
+// per-trial reseed floor is measured separately below.
 func BenchmarkSimulationSingleTrial(b *testing.B) {
+	cfg := sim.Config{Params: detect.Defaults(), Trials: 1, Workers: 1, RNG: field.SchemePhilox}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationSingleTrialLegacy is the same trial under the default
+// legacy scheme, whose ~9 µs rand.Rand.Seed reseed dominates; kept as the
+// before/after contrast and to catch regressions in the compatibility path.
+func BenchmarkSimulationSingleTrialLegacy(b *testing.B) {
 	cfg := sim.Config{Params: detect.Defaults(), Trials: 1, Workers: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -423,20 +439,62 @@ func BenchmarkServedAnalyzeCold(b *testing.B) {
 	}
 }
 
-// BenchmarkServedAnalyzeCached measures the cache-hit path: the same
-// request served from the rendered-bytes LRU after the first computation.
+// replayBody is a resettable ReadCloser over fixed bytes, letting one
+// http.Request be replayed without per-iteration allocation.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (rb *replayBody) Read(p []byte) (int, error) {
+	if rb.off >= len(rb.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, rb.data[rb.off:])
+	rb.off += n
+	return n, nil
+}
+
+func (rb *replayBody) Close() error { return nil }
+
+// discardRW is the minimal ResponseWriter: headers land in one reused
+// map, bodies are dropped, and the last status code is kept for checks.
+type discardRW struct {
+	h    http.Header
+	code int
+}
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(code int)        { w.code = code }
+
+// BenchmarkServedAnalyzeCached measures the server-side cache-hit path in
+// isolation — handler dispatch, raw-body digest, LRU lookup, rendered
+// bytes out — by driving the handler directly with a replayed request.
+// The HTTP transport cost lives in the Cold and Concurrent benchmarks;
+// this one is the near-zero-alloc number the PR-7 bench gate tracks.
 func BenchmarkServedAnalyzeCached(b *testing.B) {
-	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
-	defer ts.Close()
-	if err := servedAnalyze(ts.URL); err != nil { // populate
-		b.Fatal(err)
+	h := serve.New(serve.Config{}).Handler()
+	body := &replayBody{data: []byte(`{"scenario":{}}`)}
+	req := httptest.NewRequest("POST", "/v1/analyze", body)
+	w := &discardRW{h: make(http.Header)}
+	// Twice: the first populates the canonical entry, the second the
+	// raw-bytes alias.
+	for i := 0; i < 2; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+		if w.code != 0 && w.code != http.StatusOK {
+			b.Fatalf("populate: status %d", w.code)
+		}
+	}
+	if got := w.h.Get("X-Cache"); got != "hit" {
+		b.Fatalf("populate did not reach the hit path: X-Cache %q", got)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := servedAnalyze(ts.URL); err != nil {
-			b.Fatal(err)
-		}
+		body.off = 0
+		h.ServeHTTP(w, req)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	gbd "github.com/groupdetect/gbd"
 	"github.com/groupdetect/gbd/internal/fabric"
 	"github.com/groupdetect/gbd/internal/fabric/chaos"
 	"github.com/groupdetect/gbd/internal/obs"
@@ -64,6 +65,7 @@ func run(args []string, w io.Writer) (err error) {
 		trials   = fs.Int("trials", 0, "Monte Carlo trials per point (0 = analysis only)")
 		seed     = fs.Int64("seed", 1, "campaign seed")
 		keep     = fs.Bool("keep-going", false, "finish past point failures, emitting error rows")
+		rngName  = fs.String("rng", "", "trial RNG scheme sent with every shard: legacy (default) or philox")
 
 		ledger  = fs.String("ledger", "", "work-ledger checkpoint file (required)")
 		resume  = fs.Bool("resume", false, "resume the ledger, recomputing only missing points")
@@ -113,6 +115,16 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if *ledger == "" {
 		return fmt.Errorf("-ledger is required (the work ledger is what makes re-dispatch idempotent)")
+	}
+	scheme, err := gbd.ParseRNGScheme(*rngName)
+	if err != nil {
+		return err
+	}
+	// Legacy travels as the empty string so the ledger fingerprint — and
+	// every worker's cache key — matches pre-scheme campaigns.
+	rngWire := ""
+	if scheme != gbd.SchemeLegacy {
+		rngWire = scheme.String()
 	}
 
 	sess, err := obsFlags.Start("gbd-coordinator", args)
@@ -164,6 +176,7 @@ func run(args []string, w io.Writer) (err error) {
 			Trials:    *trials,
 			Seed:      *seed,
 			KeepGoing: *keep,
+			RNG:       rngWire,
 		},
 		LedgerPath:           *ledger,
 		Resume:               *resume,

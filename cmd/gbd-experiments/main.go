@@ -30,8 +30,18 @@ import (
 
 	"github.com/groupdetect/gbd/internal/checkpoint"
 	"github.com/groupdetect/gbd/internal/experiments"
+	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/obs"
 )
+
+// canonSchemeName is the scheme's checkpoint spelling: empty for legacy
+// (keeps pre-scheme checkpoints resumable), the name otherwise.
+func canonSchemeName(s field.RNGScheme) string {
+	if s == field.SchemeLegacy {
+		return ""
+	}
+	return s.String()
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -48,15 +58,21 @@ func main() {
 type campaignParams struct {
 	Trials int
 	Quick  bool
+	// RNG is the trial scheme's canonical spelling; omitempty keeps the
+	// legacy encoding — and so checkpoints taken before the scheme flag
+	// existed — valid. A resume across schemes fails the fingerprint
+	// check instead of silently mixing two different random universes.
+	RNG string `json:",omitempty"`
 }
 
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gbd-experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id (fig8, fig9a, fig9b, fig9c, timing, extension, kmin, boundary, comm, latency, tapproach) or all")
-		trials = fs.Int("trials", 0, "Monte Carlo trials per point (0 = paper's 10000)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		quick  = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		exp     = fs.String("exp", "all", "experiment id (fig8, fig9a, fig9b, fig9c, timing, extension, kmin, boundary, comm, latency, tapproach) or all")
+		trials  = fs.Int("trials", 0, "Monte Carlo trials per point (0 = paper's 10000)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		quick   = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		rngName = fs.String("rng", "", "trial RNG scheme: legacy (default) or philox (counter-based, batched)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		plots   = fs.Bool("plot", false, "append ASCII charts for plottable experiments")
 		outDir  = fs.String("out", "", "write per-experiment files into this directory instead of stdout")
@@ -80,6 +96,10 @@ func run(args []string) (err error) {
 	if retries < 0 {
 		return fmt.Errorf("retries = %d must be >= 0", retries)
 	}
+	scheme, err := field.ParseRNGScheme(*rngName)
+	if err != nil {
+		return err
+	}
 	sess, err := obsFlags.Start("gbd-experiments", args)
 	if err != nil {
 		return err
@@ -99,6 +119,7 @@ func run(args []string) (err error) {
 		Trials:       *trials,
 		Seed:         *seed,
 		Quick:        *quick,
+		RNG:          scheme,
 		SweepWorkers: *workers,
 		Ctx:          ctx,
 		Retries:      retries,
@@ -117,7 +138,7 @@ func run(args []string) (err error) {
 	}
 	if *ckptPath != "" {
 		fp, err := checkpoint.Fingerprint("gbd-experiments",
-			campaignParams{Trials: *trials, Quick: *quick}, *seed)
+			campaignParams{Trials: *trials, Quick: *quick, RNG: canonSchemeName(scheme)}, *seed)
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -169,5 +170,35 @@ func TestResumeRequiresCheckpoint(t *testing.T) {
 	err := run([]string{"-exp", "fig8", "-quick", "-trials", "777", "-checkpoint", ckpt, "-resume"})
 	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
 		t.Errorf("stale checkpoint not refused: %v", err)
+	}
+}
+
+// TestResumeRefusesSchemeMismatch: a checkpoint taken under one RNG scheme
+// must never resume under another — the two schemes are different random
+// universes, and mixing their points would corrupt the campaign silently.
+func TestResumeRefusesSchemeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	if err := run([]string{"-exp", "fig8", "-quick", "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-exp", "fig8", "-quick", "-rng", "philox", "-checkpoint", ckpt, "-resume"})
+	if !errors.Is(err, checkpoint.ErrFingerprint) {
+		t.Errorf("philox resume of a legacy checkpoint: got %v, want ErrFingerprint", err)
+	}
+	// Spelling legacy out loud is the same campaign: "" and "legacy"
+	// canonicalize identically, so the resume must succeed.
+	if err := run([]string{"-exp", "fig8", "-quick", "-rng", "legacy", "-checkpoint", ckpt, "-resume"}); err != nil {
+		t.Errorf("explicit -rng legacy resume of a default checkpoint failed: %v", err)
+	}
+	// And the reverse direction: a philox checkpoint refuses a default
+	// (legacy) resume.
+	ckpt2 := filepath.Join(dir, "run2.ckpt")
+	if err := run([]string{"-exp", "fig8", "-quick", "-rng", "philox", "-checkpoint", ckpt2}); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-exp", "fig8", "-quick", "-checkpoint", ckpt2, "-resume"})
+	if !errors.Is(err, checkpoint.ErrFingerprint) {
+		t.Errorf("legacy resume of a philox checkpoint: got %v, want ErrFingerprint", err)
 	}
 }

@@ -75,6 +75,7 @@ func run(args []string, w io.Writer) (err error) {
 		k       = fs.Int("k", 5, "required reports")
 		trials  = fs.Int("trials", 2000, "Monte Carlo trials per point")
 		seed    = fs.Int64("seed", 1, "random seed")
+		rngName = fs.String("rng", "", "trial RNG scheme: legacy (default) or philox (counter-based, batched)")
 		workers = fs.Int("workers", 0, "parallel trial workers per point (0 = all cores)")
 		sweepW  = fs.Int("sweep-workers", 1, "concurrent sweep points (0 = all cores); output is identical at any setting")
 
@@ -111,6 +112,10 @@ func run(args []string, w io.Writer) (err error) {
 	if pointRetries < 0 {
 		return fmt.Errorf("point-retries = %d must be >= 0", pointRetries)
 	}
+	scheme, err := gbd.ParseRNGScheme(*rngName)
+	if err != nil {
+		return err
+	}
 	sess, err := obsFlags.Start("gbd-faults", args)
 	if err != nil {
 		return err
@@ -137,6 +142,7 @@ func run(args []string, w io.Writer) (err error) {
 		Trials:  *trials,
 		Seed:    *seed,
 		Workers: *workers,
+		RNG:     scheme,
 	}
 	loss := netsim.LossModel{
 		PerHopDelivery: 1,
@@ -169,6 +175,10 @@ func run(args []string, w io.Writer) (err error) {
 	if *ckptPath != "" {
 		// Everything that shapes results goes into the identity; execution
 		// knobs (workers, retry policy, keep-going) deliberately do not.
+		rngID := ""
+		if scheme != gbd.SchemeLegacy {
+			rngID = scheme.String()
+		}
 		fp, err := checkpoint.Fingerprint("gbd-faults", struct {
 			Params    gbd.Params
 			Trials    int
@@ -178,7 +188,10 @@ func run(args []string, w io.Writer) (err error) {
 			MaxLoss   float64
 			CommRange float64
 			Loss      netsim.LossModel
-		}{p, *trials, *maxDead, *deadSteps, *lossSweep, *maxLoss, *commRange, loss}, *seed)
+			// RNG changes every simulated value; omitempty keeps legacy
+			// checkpoints from before the scheme flag resumable.
+			RNG string `json:",omitempty"`
+		}{p, *trials, *maxDead, *deadSteps, *lossSweep, *maxLoss, *commRange, loss, rngID}, *seed)
 		if err != nil {
 			return err
 		}

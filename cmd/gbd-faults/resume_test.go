@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/groupdetect/gbd/internal/checkpoint"
 	"github.com/groupdetect/gbd/internal/obs"
 )
 
@@ -73,5 +75,25 @@ func TestResumeRefusesOtherCampaign(t *testing.T) {
 	}
 	if err := run(append(append([]string{}, base...), "-resume"), &out); err == nil {
 		t.Error("-resume without -checkpoint should fail")
+	}
+}
+
+// TestResumeRefusesSchemeMismatch: the RNG scheme shapes every simulated
+// value, so a checkpoint taken under one scheme must refuse to resume
+// under another instead of silently mixing two random universes.
+func TestResumeRefusesSchemeMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	base := []string{"-trials", "100", "-dead-steps", "2", "-max-dead", "0.2", "-seed", "1"}
+	var out bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-checkpoint", ckpt), &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(append([]string{}, base...), "-rng", "philox", "-checkpoint", ckpt, "-resume"), &out)
+	if !errors.Is(err, checkpoint.ErrFingerprint) {
+		t.Errorf("philox resume of a legacy checkpoint: got %v, want ErrFingerprint", err)
+	}
+	// "" and "legacy" are the same campaign; the explicit spelling resumes.
+	if err := run(append(append([]string{}, base...), "-rng", "legacy", "-checkpoint", ckpt, "-resume"), &out); err != nil {
+		t.Errorf("explicit -rng legacy resume of a default checkpoint failed: %v", err)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"os"
 	"time"
 
+	gbd "github.com/groupdetect/gbd"
 	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/serve"
 )
@@ -72,6 +73,7 @@ func run(args []string, w io.Writer) (err error) {
 		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
 		heartbeat    = fs.Duration("sweep-heartbeat", 5*time.Second, "keep-alive heartbeat period on idle /v1/sweep streams (negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+		rngName      = fs.String("rng", "", "default trial RNG scheme for requests without \"rng\": legacy (default) or philox")
 	)
 	// The sweep fault policy flag answers to both spellings of the shared
 	// vocabulary: -point-retries (gbd-faults) and -retries
@@ -85,6 +87,10 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if pointRetries < 0 {
 		return fmt.Errorf("point-retries = %d must be >= 0", pointRetries)
+	}
+	scheme, err := gbd.ParseRNGScheme(*rngName)
+	if err != nil {
+		return err
 	}
 	sess, err := obsFlags.Start("gbd-server", args)
 	if err != nil {
@@ -116,6 +122,7 @@ func run(args []string, w io.Writer) (err error) {
 		RetryBackoff:      *retryBackoff,
 		PointTimeout:      *pointTimeout,
 		HeartbeatInterval: *heartbeat,
+		RNG:               scheme,
 	}
 	sess.SetParams(cfg)
 	srv := serve.New(cfg)

@@ -53,6 +53,7 @@ func run(args []string) (err error) {
 		fa      = fs.Float64("false-alarm", 0, "per-sensor per-period false alarm probability")
 		lambda  = fs.Float64("exposure", 0, "dwell-model detection rate 1/s (0 = flat Pd model)")
 		config  = fs.String("config", "", "load the scenario from a JSON file (other scenario flags are ignored)")
+		rngName = fs.String("rng", "", "trial RNG scheme: legacy (default) or philox (counter-based, batched)")
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +84,10 @@ func run(args []string) (err error) {
 		}
 		p = loaded
 	}
+	scheme, err := gbd.ParseRNGScheme(*rngName)
+	if err != nil {
+		return err
+	}
 	cfg := gbd.SimConfig{
 		Params:         p,
 		Trials:         *trials,
@@ -90,6 +95,7 @@ func run(args []string) (err error) {
 		Workers:        *workers,
 		FalseAlarmP:    *fa,
 		ExposureLambda: *lambda,
+		RNG:            scheme,
 	}
 	switch *confine {
 	case "reject":

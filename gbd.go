@@ -44,6 +44,7 @@ import (
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/dist"
 	"github.com/groupdetect/gbd/internal/falsealarm"
+	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/sim"
 )
 
@@ -103,6 +104,26 @@ const (
 	// ConfineNone lets tracks exit the field.
 	ConfineNone = sim.ConfineNone
 )
+
+// RNGScheme selects how the simulator derives each trial's random
+// stream (SimConfig.RNG).
+type RNGScheme = field.RNGScheme
+
+// Trial RNG schemes for SimConfig.RNG.
+const (
+	// SchemeLegacy reseeds a rand.Rand per trial from a SplitMix64-derived
+	// seed (the original scheme; default, preserves historical goldens).
+	SchemeLegacy = field.SchemeLegacy
+	// SchemePhilox derives each trial's stream from the counter-based
+	// Philox4x32-10 generator keyed by the campaign seed: O(1) stream
+	// setup and batchable trials, with different (equally valid) draws
+	// than SchemeLegacy.
+	SchemePhilox = field.SchemePhilox
+)
+
+// ParseRNGScheme maps a scheme name ("legacy", "philox", or "" for the
+// legacy default) to its RNGScheme, as the binaries' -rng flags do.
+func ParseRNGScheme(name string) (RNGScheme, error) { return field.ParseRNGScheme(name) }
 
 // FalseAlarmModel is the node-level Bernoulli false alarm model used by the
 // K lower-bound machinery.

@@ -69,6 +69,7 @@ func Degradation(opt Options) (*Table, error) {
 			Trials: trials,
 			Seed:   opt.Seed,
 			Faults: faults.Bernoulli{DeadFrac: f},
+			RNG:    opt.RNG,
 		})
 		if err != nil {
 			return degPoint{}, err
@@ -134,6 +135,7 @@ func LossDegradation(opt Options) (*Table, error) {
 			Params:    p,
 			Trials:    trials,
 			Seed:      opt.Seed,
+			RNG:       opt.RNG,
 			CommRange: 6000,
 			Loss: netsim.LossModel{
 				PerHopDelivery: 1 - loss,

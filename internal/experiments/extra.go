@@ -201,13 +201,13 @@ func Boundary(opt Options) (*Table, error) {
 		if err != nil {
 			return boundaryPoint{}, err
 		}
-		conf, err := sim.RunCtx(ctx, sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n)})
+		conf, err := sim.RunCtx(ctx, sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n), RNG: opt.RNG})
 		if err != nil {
 			return boundaryPoint{}, err
 		}
 		unconf, err := sim.RunCtx(ctx, sim.Config{
 			Params: p, Trials: opt.Trials, Seed: opt.Seed + int64(n),
-			Confine: sim.ConfineNone,
+			Confine: sim.ConfineNone, RNG: opt.RNG,
 		})
 		if err != nil {
 			return boundaryPoint{}, err
@@ -281,4 +281,3 @@ func CommCheck(opt Options) (*Table, error) {
 		"paper assumes ~6 hops complete within one sensing period; this measures it per deployment")
 	return t, nil
 }
-

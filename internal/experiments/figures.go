@@ -109,6 +109,7 @@ func runFig9Sweep(opt Options, exp string, normalize bool, model func(p detect.P
 			Params: p,
 			Trials: opt.Trials,
 			Seed:   opt.Seed + int64(gp.n) + int64(1000*gp.v),
+			RNG:    opt.RNG,
 		}
 		if model != nil {
 			cfg.Model = model(p)

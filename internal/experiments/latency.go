@@ -28,7 +28,7 @@ func Latency(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunCtx(opt.ctx(), sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed})
+	res, err := sim.RunCtx(opt.ctx(), sim.Config{Params: p, Trials: opt.Trials, Seed: opt.Seed, RNG: opt.RNG})
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/groupdetect/gbd/internal/checkpoint"
+	"github.com/groupdetect/gbd/internal/field"
 )
 
 // ErrExperiment reports invalid experiment options.
@@ -32,6 +33,11 @@ type Options struct {
 	// at any setting (each point derives its rng stream from its own
 	// parameters), only wall-clock changes.
 	SweepWorkers int
+	// RNG selects the trial RNG scheme for simulation-backed experiments
+	// (zero value: the legacy per-trial reseed scheme). Changing it
+	// changes simulation columns, so it participates in checkpoint
+	// fingerprints.
+	RNG field.RNGScheme
 
 	// Ctx, when non-nil, lets callers cancel a running experiment: sweeps
 	// stop dispatching points and trial loops unwind within a bounded

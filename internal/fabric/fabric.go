@@ -166,6 +166,9 @@ type campaignKey struct {
 	Values    []float64            `json:"values"`
 	Trials    int                  `json:"trials"`
 	KeepGoing bool                 `json:"keep_going"`
+	// RNG changes every simulated value, so a ledger must never be
+	// resumed across schemes; omitempty keeps pre-scheme ledgers valid.
+	RNG string `json:"rng,omitempty"`
 }
 
 // Fingerprint derives the work-ledger fingerprint for a campaign request.
@@ -180,6 +183,7 @@ func Fingerprint(req serve.SweepRequest) (string, error) {
 		Values:    req.Values,
 		Trials:    req.Trials,
 		KeepGoing: req.KeepGoing,
+		RNG:       req.RNG,
 	}, req.Seed)
 }
 

@@ -40,16 +40,55 @@ func NewIndex(points []geom.Point, bounds geom.Rect, cellSize float64) (*Index, 
 	return idx, nil
 }
 
-// Rebuild re-indexes the index over a new deployment in place, reusing the
-// existing backing arrays. It leaves the index unchanged on error. Pass a
-// recycled Index through a simulation loop to keep indexing off the heap.
-func (idx *Index) Rebuild(points []geom.Point, bounds geom.Rect, cellSize float64) error {
+// checkGrid validates Rebuild's grid parameters.
+func checkGrid(bounds geom.Rect, cellSize float64) error {
 	if bounds.Area() <= 0 {
 		return fmt.Errorf("empty bounds %+v: %w", bounds, ErrDeploy)
 	}
 	if cellSize <= 0 || math.IsNaN(cellSize) {
 		return fmt.Errorf("cell size %v: %w", cellSize, ErrDeploy)
 	}
+	return nil
+}
+
+// Rebuild re-indexes the index over a new deployment in place, reusing the
+// existing backing arrays. It leaves the index unchanged on error. Pass a
+// recycled Index through a simulation loop to keep indexing off the heap.
+func (idx *Index) Rebuild(points []geom.Point, bounds geom.Rect, cellSize float64) error {
+	if err := checkGrid(bounds, cellSize); err != nil {
+		return err
+	}
+	idx.points = append(idx.points[:0], points...)
+	idx.reindex(bounds, cellSize)
+	return nil
+}
+
+// RebuildXY is Rebuild over a deployment stored as parallel coordinate
+// slices — the simulator's batch engine fills structure-of-arrays
+// coordinate buffers and indexes each trial's slice pair without
+// materializing a []geom.Point.
+func (idx *Index) RebuildXY(xs, ys []float64, bounds geom.Rect, cellSize float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("coordinate slices disagree: %d xs, %d ys: %w", len(xs), len(ys), ErrDeploy)
+	}
+	if err := checkGrid(bounds, cellSize); err != nil {
+		return err
+	}
+	pts := idx.points[:0]
+	if cap(pts) < len(xs) {
+		pts = make([]geom.Point, 0, len(xs))
+	}
+	for i, x := range xs {
+		pts = append(pts, geom.Point{X: x, Y: ys[i]})
+	}
+	idx.points = pts
+	idx.reindex(bounds, cellSize)
+	return nil
+}
+
+// reindex rebuilds the grid over idx.points; callers have validated the
+// grid parameters.
+func (idx *Index) reindex(bounds geom.Rect, cellSize float64) {
 	w := bounds.MaxX - bounds.MinX
 	h := bounds.MaxY - bounds.MinY
 	cols := int(math.Ceil(w / cellSize))
@@ -64,7 +103,7 @@ func (idx *Index) Rebuild(points []geom.Point, bounds geom.Rect, cellSize float6
 	idx.cell = cellSize
 	idx.cols = cols
 	idx.rows = rows
-	idx.points = append(idx.points[:0], points...)
+	points := idx.points
 
 	nCells := cols * rows
 	if cap(idx.cellStart) < nCells+1 {
@@ -101,7 +140,6 @@ func (idx *Index) Rebuild(points []geom.Point, bounds geom.Rect, cellSize float6
 	}
 	copy(idx.cellStart[1:], idx.cellStart[:nCells]) // memmove does the backward shift
 	idx.cellStart[0] = 0
-	return nil
 }
 
 // Len returns the number of indexed points.

@@ -260,3 +260,27 @@ func TestHopsFromMatchesShortestHops(t *testing.T) {
 		}
 	}
 }
+
+// TestGreedyOKMatchesGreedyRoute asserts the allocation-free walk that
+// Delivery uses agrees with GreedyRoute's success/failure verdict on
+// random sparse deployments, including disconnected and void-heavy ones.
+func TestGreedyOKMatchesGreedyRoute(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := field.NewRand(seed)
+		bounds := geom.Square(32000)
+		pts := make([]geom.Point, 120)
+		for i := range pts {
+			pts[i] = geom.Point{
+				X: bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+				Y: bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+			}
+		}
+		net := mustNetwork(t, pts, 5000, bounds)
+		for i := range pts {
+			_, err := net.GreedyRoute(i, 0)
+			if got, want := net.greedyOK(i, 0), err == nil; got != want {
+				t.Fatalf("seed %d node %d: greedyOK=%v, GreedyRoute err=%v", seed, i, got, err)
+			}
+		}
+	}
+}

@@ -49,6 +49,24 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// getBytes is get with a byte-slice key. The map index is spelled
+// c.items[string(key)] so the compiler's map-lookup special case elides
+// the string conversion — the cache-hit fast path hashes the raw request
+// bytes into a stack array and looks it up here without allocating.
+func (c *resultCache) getBytes(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cacheLookups.Inc()
+	el, ok := c.items[string(key)]
+	if !ok {
+		cacheMisses.Inc()
+		return nil, false
+	}
+	cacheHits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
 // add stores body under key, evicting the least recently used entry when
 // the cache is full. Storing an existing key refreshes its recency.
 func (c *resultCache) add(key string, body []byte) {

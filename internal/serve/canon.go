@@ -8,15 +8,18 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/obs"
 )
 
@@ -131,6 +134,11 @@ type AnalyzeRequest struct {
 	Scenario Scenario       `json:"scenario"`
 	Options  AnalyzeOptions `json:"options,omitempty"`
 	HNodes   int            `json:"h_nodes,omitempty"`
+	// RNG selects the simulator's RNG scheme ("legacy" or "philox");
+	// empty inherits the server default. Analysis itself draws nothing,
+	// but the scheme still partitions the cache so a deployment flipping
+	// its default cannot serve bytes attributed to the other scheme.
+	RNG string `json:"rng,omitempty"`
 }
 
 // DesignRequest is the /v1/design body: the deployment-design workflow
@@ -170,6 +178,11 @@ type SimulateRequest struct {
 	CommRange  float64 `json:"comm_range,omitempty"`
 	PerHopLoss float64 `json:"per_hop_loss,omitempty"`
 	HopRetries int     `json:"hop_retries,omitempty"`
+	// RNG selects the trial RNG scheme ("legacy" or "philox"); empty
+	// inherits the server default. Different schemes produce different
+	// (equally valid) campaign results, so the scheme is part of the
+	// cache identity.
+	RNG string `json:"rng,omitempty"`
 }
 
 // SweepAxis names a parameter swept by /v1/sweep.
@@ -211,6 +224,9 @@ type SweepRequest struct {
 	// shard's global starting index, so worker rows carry campaign-global
 	// indexes and merge byte-identically with a single-machine stream.
 	IndexBase int `json:"index_base,omitempty"`
+	// RNG selects the trial RNG scheme for the Monte Carlo column
+	// ("legacy" or "philox"); empty inherits the server default.
+	RNG string `json:"rng,omitempty"`
 	// HeartbeatMS overrides the server's heartbeat interval for this
 	// stream (Config.HeartbeatInterval): while no data row is ready, the
 	// stream emits `{"hb":true}` lines at this period so proxies, idle
@@ -240,6 +256,78 @@ func decodeJSON(r *http.Request, v any) error {
 		return fmt.Errorf("trailing data after JSON body: %w", ErrRequest)
 	}
 	return nil
+}
+
+// decodeBytes is decodeJSON over an already-read body, with the same
+// strictness: unknown fields and trailing garbage are request errors.
+func decodeBytes(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode body: %v: %w", err, ErrRequest)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body: %w", ErrRequest)
+	}
+	return nil
+}
+
+// bodyScratch recycles the raw-body read buffer across requests so the
+// cache-hit fast path performs no allocation.
+type bodyScratch struct {
+	buf []byte
+}
+
+var bodyPool = sync.Pool{New: func() any { return &bodyScratch{buf: make([]byte, 0, 512)} }}
+
+// readBody reads r's whole body into the pooled scratch, prefixed with
+// the endpoint so the raw digest is endpoint-scoped (identical bodies
+// posted to different endpoints must not collide). The returned slice
+// aliases sc.buf and is valid until the scratch is pooled again.
+func readBody(r *http.Request, endpoint string, sc *bodyScratch) ([]byte, error) {
+	buf := append(sc.buf[:0], endpoint...)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > len(endpoint)+maxBodyBytes {
+			sc.buf = buf
+			return nil, fmt.Errorf("body exceeds %d bytes: %w", maxBodyBytes, ErrRequest)
+		}
+		if err == io.EOF {
+			sc.buf = buf
+			return buf, nil
+		}
+		if err != nil {
+			sc.buf = buf
+			return nil, fmt.Errorf("read body: %v: %w", err, ErrRequest)
+		}
+	}
+}
+
+// resolveRNG maps a wire scheme name to the effective scheme: empty
+// inherits the server default, anything else must parse.
+func (s *Server) resolveRNG(name string) (field.RNGScheme, error) {
+	if name == "" {
+		return s.cfg.RNG, nil
+	}
+	scheme, err := field.ParseRNGScheme(name)
+	if err != nil {
+		return 0, fmt.Errorf("%v: %w", err, ErrRequest)
+	}
+	return scheme, nil
+}
+
+// canonRNG is the scheme's canonical wire spelling: empty for legacy so
+// that pre-scheme cache keys (and clients) are undisturbed, the scheme
+// name otherwise.
+func canonRNG(scheme field.RNGScheme) string {
+	if scheme == field.SchemeLegacy {
+		return ""
+	}
+	return scheme.String()
 }
 
 // cacheKey fingerprints a canonical request value for one endpoint. The

@@ -29,6 +29,7 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,6 +41,7 @@ import (
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/experiments"
 	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/sim"
@@ -78,9 +80,17 @@ type Config struct {
 	// (default 5s; negative disables heartbeats). SweepRequest.HeartbeatMS
 	// overrides it per stream.
 	HeartbeatInterval time.Duration
+	// RNG is the default trial RNG scheme for requests that omit "rng"
+	// (zero value: the legacy per-trial reseed scheme). The scheme is
+	// part of every cache identity, so flipping the default cannot serve
+	// results computed under the other scheme.
+	RNG field.RNGScheme
 }
 
 func (c Config) withDefaults() Config {
+	if err := c.RNG.Validate(); err != nil {
+		c.RNG = field.SchemeLegacy
+	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
 	}
@@ -201,7 +211,21 @@ func writeBody(w http.ResponseWriter, source string, body []byte) {
 // exactly those bytes, so identical requests are bit-identical responses
 // by construction.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+	s.serveKeyed(w, r, key, "", compute)
+}
+
+// serveKeyed is serveCached with an optional second cache key: rawKey,
+// when non-empty, is the digest of the exact request bytes, and the
+// rendered body is stored under it too so the next byte-identical
+// request short-circuits in the handler before any JSON decoding or
+// canonicalization (the near-zero-alloc hit path). Storing the raw
+// alias is sound because identical raw bytes always canonicalize to the
+// same key, hence the same body.
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key, rawKey string, compute func(ctx context.Context) (any, error)) {
 	if body, ok := s.cache.get(key); ok {
+		if rawKey != "" {
+			s.cache.add(rawKey, body)
+		}
 		writeBody(w, "hit", body)
 		return
 	}
@@ -223,6 +247,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		}
 		body = append(body, '\n')
 		s.cache.add(key, body)
+		if rawKey != "" {
+			s.cache.add(rawKey, body)
+		}
 		return body, nil
 	})
 	if err != nil {
@@ -281,6 +308,10 @@ type analyzeCanonical struct {
 	Scenario scenarioEcho   `json:"scenario"`
 	Options  AnalyzeOptions `json:"options"`
 	HNodes   int            `json:"h_nodes"`
+	// RNG is the resolved scheme's canonical spelling; omitempty keeps
+	// legacy ("") encodings — and therefore pre-scheme cache keys —
+	// byte-identical.
+	RNG string `json:"rng,omitempty"`
 }
 
 // analyzeKey canonicalizes an AnalyzeRequest into its resolved parameters
@@ -293,8 +324,13 @@ func (s *Server) analyzeKey(req AnalyzeRequest) (detect.Params, string, error) {
 	if req.HNodes < 0 {
 		return p, "", fmt.Errorf("h_nodes = %d must be >= 0: %w", req.HNodes, ErrRequest)
 	}
+	scheme, err := s.resolveRNG(req.RNG)
+	if err != nil {
+		return p, "", err
+	}
 	key, err := cacheKey("/v1/analyze", analyzeCanonical{
 		Scenario: echoParams(p), Options: req.Options, HNodes: req.HNodes,
+		RNG: canonRNG(scheme),
 	}, 0)
 	return p, key, err
 }
@@ -331,8 +367,27 @@ func (s *Server) computeAnalyze(ctx context.Context, p detect.Params, req Analyz
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	// Raw-body fast path: hash the exact request bytes and serve the
+	// rendered response without decoding when a previous byte-identical
+	// request populated the alias. Identical bytes always canonicalize
+	// identically, so this can never serve the wrong entry; bodies that
+	// differ only in whitespace or field order simply fall through to the
+	// canonical key below.
+	const endpoint = "/v1/analyze"
+	sc := bodyPool.Get().(*bodyScratch)
+	defer bodyPool.Put(sc)
+	raw, err := readBody(r, endpoint, sc)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	digest := sha256.Sum256(raw)
+	if body, ok := s.cache.getBytes(digest[:]); ok {
+		writeBody(w, "hit", body)
+		return
+	}
 	var req AnalyzeRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeBytes(raw[len(endpoint):], &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -341,7 +396,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+	s.serveKeyed(w, r, key, string(digest[:]), func(ctx context.Context) (any, error) {
 		return s.computeAnalyze(ctx, p, req)
 	})
 }
@@ -546,6 +601,10 @@ type simulateCanonical struct {
 	CommRange  float64      `json:"comm_range"`
 	PerHopLoss float64      `json:"per_hop_loss"`
 	HopRetries int          `json:"hop_retries"`
+	// RNG is the resolved scheme's canonical spelling ("" for legacy):
+	// campaigns under different schemes are different results and must
+	// never share a cache entry.
+	RNG string `json:"rng,omitempty"`
 }
 
 // simConfig translates a SimulateRequest into a simulator configuration.
@@ -564,11 +623,16 @@ func (s *Server) simConfig(p detect.Params, req SimulateRequest) (sim.Config, er
 	if req.HopRetries < 0 {
 		return sim.Config{}, fmt.Errorf("hop_retries = %d must be >= 0: %w", req.HopRetries, ErrRequest)
 	}
+	scheme, err := s.resolveRNG(req.RNG)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	cfg := sim.Config{
 		Params:  p,
 		Trials:  req.Trials,
 		Seed:    req.Seed,
 		Workers: 1,
+		RNG:     scheme,
 	}
 	if req.DeadFrac > 0 {
 		cfg.Faults = faults.Bernoulli{DeadFrac: req.DeadFrac}
@@ -630,10 +694,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	scheme, err := s.resolveRNG(req.RNG)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	canon := simulateCanonical{
 		Scenario: echoParams(p), Trials: req.Trials,
 		DeadFrac: req.DeadFrac, CommRange: req.CommRange,
 		PerHopLoss: req.PerHopLoss, HopRetries: req.HopRetries,
+		RNG: canonRNG(scheme),
 	}
 	// Seed participates through the fingerprint's seed slot: campaigns
 	// are deterministic per (config, seed), so caching them is sound.

@@ -63,6 +63,9 @@ func (s *Server) validateSweep(req SweepRequest) error {
 	if req.HeartbeatMS < 0 {
 		return fmt.Errorf("heartbeat_ms = %d must be >= 0: %w", req.HeartbeatMS, ErrRequest)
 	}
+	if _, err := s.resolveRNG(req.RNG); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -156,7 +159,11 @@ func (s *Server) sweepPoint(ctx context.Context, base detect.Params, req SweepRe
 	prob := ana.DetectionProb
 	row.Analysis = &prob
 	if req.Trials > 0 {
-		cfg := sim.Config{Params: p, Trials: req.Trials, Seed: req.Seed, Workers: 1}
+		scheme, err := s.resolveRNG(req.RNG)
+		if err != nil {
+			return row, err
+		}
+		cfg := sim.Config{Params: p, Trials: req.Trials, Seed: req.Seed, Workers: 1, RNG: scheme}
 		if req.Axis == AxisDeadFrac {
 			cfg.Faults = faults.Bernoulli{DeadFrac: v}
 		}

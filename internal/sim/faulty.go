@@ -24,7 +24,7 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 	p := cfg.Params
 	scratch := getScratch()
 	defer scratchPool.Put(scratch)
-	rng := scratch.seed(field.DeriveSeed(cfg.Seed, int64(trial)))
+	rng := scratch.seed(cfg.RNG, cfg.Seed, int64(trial))
 	bounds := geom.Square(p.FieldSide)
 
 	sensors, err := field.UniformInto(scratch.sensors, p.N, bounds, rng)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sim"
 )
@@ -142,6 +143,34 @@ func TestGoldenDetailedFaultyTrial(t *testing.T) {
 	exacti(t, "Lost", tr.Faults.Lost, 0)
 	exacti(t, "Rerouted", tr.Faults.Rerouted, 6)
 	exacti(t, "len(Reporters)", len(tr.Reporters), 2)
+}
+
+// TestGoldenPhiloxCampaign pins the counter-based scheme's own stream the
+// same way the legacy goldens pin theirs: the first campaign exercises the
+// batched SoA engine, the second (false alarms enabled) the W=1 philox
+// fallback. Philox trials are seeded by (campaign seed, trial index)
+// alone, so these numbers are worker-count invariant by construction.
+func TestGoldenPhiloxCampaign(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		Params: detect.Defaults(), Trials: 400, Seed: 3, Workers: 2,
+		RNG: field.SchemePhilox,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exacti(t, "Detections", res.Detections, 304)
+	exactf(t, "MeanReports", res.MeanReports, 9.4275000000000002)
+	exactf(t, "Latency.Mean", res.Latency.Mean(), 9.5592105263157894)
+
+	fa, err := sim.Run(sim.Config{
+		Params: detect.Defaults(), Trials: 300, Seed: 9, Workers: 3,
+		RNG: field.SchemePhilox, FalseAlarmP: 0.0005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exacti(t, "fa.Detections", fa.Detections, 262)
+	exactf(t, "fa.MeanReports", fa.MeanReports, 10.323333333333334)
 }
 
 // TestGoldenAnalysis pins the M-S-approach outputs that the stage-PMF

@@ -21,6 +21,8 @@ var (
 	trialSeconds = obs.Default.Histogram("sim.trial_seconds", obs.SecondsBuckets())
 	scratchNews  = obs.Default.Counter("sim.scratch.news")
 	scratchGets  = obs.Default.Counter("sim.scratch.gets")
+	batchNews    = obs.Default.Counter("sim.batch.news")
+	batchGets    = obs.Default.Counter("sim.batch.gets")
 )
 
 // trialTick drives the timing sampler; it is separate from trialsTotal so

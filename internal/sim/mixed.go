@@ -46,7 +46,7 @@ func RunMixed(cfg Config, classes []detect.SensorClass) (*Result, error) {
 	res := &Result{Trials: cfgd.Trials}
 	buf := make([]int, 0, 16)
 	for trial := 0; trial < cfgd.Trials; trial++ {
-		rng := field.NewRand(field.DeriveSeed(cfgd.Seed, int64(trial)))
+		rng := trialRand(cfgd.RNG, cfgd.Seed, int64(trial))
 		type deployed struct {
 			idx  *field.Index
 			pts  []geom.Point

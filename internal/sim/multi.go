@@ -67,7 +67,7 @@ func RunMulti(cfg Config, targets int, minSep float64) (*MultiResult, error) {
 	pooled := 0
 
 	for trial := 0; trial < cfg.Trials; trial++ {
-		rng := field.NewRand(field.DeriveSeed(cfg.Seed, int64(trial)))
+		rng := trialRand(cfg.RNG, cfg.Seed, int64(trial))
 		sensors, err := field.Uniform(p.N, bounds, rng)
 		if err != nil {
 			return nil, err

@@ -19,6 +19,8 @@ import (
 // deployment out before the scratch returns to the pool.
 type trialScratch struct {
 	rng       *rand.Rand
+	philox    field.Philox
+	prand     *rand.Rand // rand.New(&philox), built once per scratch
 	sensors   []geom.Point
 	idx       field.Index
 	perPeriod []int // plain path's window counts / faulty path's arrivals
@@ -28,7 +30,9 @@ type trialScratch struct {
 var scratchPool = sync.Pool{
 	New: func() any {
 		scratchNews.Inc()
-		return &trialScratch{rng: field.NewRand(0), buf: make([]int, 0, 16)}
+		s := &trialScratch{rng: field.NewRand(0), buf: make([]int, 0, 16)}
+		s.prand = rand.New(&s.philox)
+		return s
 	},
 }
 
@@ -39,12 +43,28 @@ func getScratch() *trialScratch {
 	return scratchPool.Get().(*trialScratch)
 }
 
-// seed points the scratch RNG at one trial's stream. Reseeding the pooled
-// generator yields the same draws as field.NewRand(seed) without reheaping
-// the generator state.
-func (s *trialScratch) seed(seed int64) *rand.Rand {
-	s.rng.Seed(seed)
+// seed points the scratch RNG at one trial's stream under the campaign's
+// scheme. Legacy reseeds the pooled lagged-Fibonacci generator (yielding
+// the same draws as field.NewRand(field.DeriveSeed(base, trial)) without
+// reheaping the generator state); Philox just resets the counter words —
+// the O(1) stream setup the counter-based scheme exists for.
+func (s *trialScratch) seed(scheme field.RNGScheme, base, trial int64) *rand.Rand {
+	if scheme == field.SchemePhilox {
+		s.philox.Reset(base, trial)
+		return s.prand
+	}
+	s.rng.Seed(field.DeriveSeed(base, trial))
 	return s.rng
+}
+
+// trialRand allocates a fresh per-trial generator under the campaign's
+// scheme, for the campaign loops (mixed, multi) that do not run on pooled
+// scratch.
+func trialRand(scheme field.RNGScheme, base, trial int64) *rand.Rand {
+	if scheme == field.SchemePhilox {
+		return rand.New(field.NewPhilox(base, trial))
+	}
+	return field.NewRand(field.DeriveSeed(base, trial))
 }
 
 // ints returns s resized to n and zeroed, reusing the backing array when it

@@ -66,6 +66,14 @@ type Config struct {
 	// Seed makes the whole campaign reproducible. Trial i derives its own
 	// stream from (Seed, i), so results are independent of scheduling.
 	Seed int64
+	// RNG selects the random number scheme mapping (Seed, trial) to a
+	// stream. The zero value is field.SchemeLegacy — the original
+	// per-trial reseed, preserving every existing golden result.
+	// field.SchemePhilox switches to the counter-based Philox4×32-10
+	// scheme: O(1) stream setup and the batched SoA trial engine for
+	// plain campaigns. Draws differ between schemes, so results are
+	// reproducible per scheme.
+	RNG field.RNGScheme
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
 	// Confine selects border handling; 0 means ConfineRejection.
@@ -116,6 +124,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if err := c.RNG.Validate(); err != nil {
+		return c, fmt.Errorf("%w: %w", ErrConfig, err)
+	}
 	if c.Confine == 0 {
 		c.Confine = ConfineRejection
 	}
@@ -159,6 +170,15 @@ func (c Config) withDefaults() (Config, error) {
 
 // faulty reports whether the fault-injection trial path is needed.
 func (c Config) faulty() bool { return c.Faults != nil || c.CommRange > 0 }
+
+// batchable reports whether aggregate trials can run on the SoA batch
+// engine: the counter-based scheme (per-trial stream reset must be O(1)
+// and heap-free for W parallel streams) and the plain trial shape —
+// faults, delivery, false alarms, and exposure keep the W=1 path.
+func (c Config) batchable() bool {
+	return c.RNG == field.SchemePhilox && !c.faulty() &&
+		c.FalseAlarmP == 0 && c.ExposureLambda == 0
+}
 
 // Result summarizes a simulation campaign.
 type Result struct {
@@ -255,6 +275,10 @@ const cancelCheckMask = 31
 // between trials. A Background context (nil Done channel) costs one nil
 // check per trial, keeping the uncancellable benchmark path unchanged.
 func runWorker(ctx context.Context, cfg Config, w, workers int, p *partial) {
+	if cfg.batchable() {
+		runBatchWorker(ctx, cfg, w, workers, p)
+		return
+	}
 	done := ctx.Done()
 	polls := 0
 	for trial := w; trial < cfg.Trials; trial += workers {
@@ -372,7 +396,7 @@ func runTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) {
 	p := cfg.Params
 	scratch := getScratch()
 	defer scratchPool.Put(scratch)
-	rng := scratch.seed(field.DeriveSeed(cfg.Seed, int64(trial)))
+	rng := scratch.seed(cfg.RNG, cfg.Seed, int64(trial))
 	bounds := geom.Square(p.FieldSide)
 
 	sensors, err := field.UniformInto(scratch.sensors, p.N, bounds, rng)
