@@ -1,7 +1,7 @@
 // Command gbd-bench runs the hot-path benchmarks in-process via
 // testing.Benchmark and emits a machine-readable JSON report, so CI and
 // the committed BENCH_*.json snapshots (BENCH_PR2.json through
-// BENCH_PR6.json) use the same measurement path as `go test -bench`. The
+// BENCH_PR8.json) use the same measurement path as `go test -bench`. The
 // benchmark bodies mirror bench_test.go exactly; this command exists
 // because test binaries cannot be imported, while the tracked snapshots
 // must be regenerable with one command.
@@ -9,12 +9,14 @@
 // -compare gates the run against a committed snapshot: if a gated
 // benchmark (SimulationSingleTrial, ServedAnalyzeCached) regresses more
 // than 10% in ns/op against the baseline file, the command exits
-// non-zero. CI runs `gbd-bench -compare BENCH_PR6.json` so the two
-// PR-7 headline numbers cannot silently drift back.
+// non-zero. CI runs `gbd-bench -compare BENCH_PR7.json` so the headline
+// numbers cannot silently drift back. ServedBatch and PeerForwardedHit
+// track the PR-8 fleet surfaces (informational — HTTP-path variance is
+// too wide to gate on).
 //
 // Usage:
 //
-//	gbd-bench [-out BENCH_PR7.json] [-compare BENCH_PR6.json]
+//	gbd-bench [-out BENCH_PR8.json] [-compare BENCH_PR7.json]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -73,6 +76,8 @@ var benchmarks = []struct {
 	{"ServedAnalyzeCold", benchServedAnalyzeCold},
 	{"ServedAnalyzeCached", benchServedAnalyzeCached},
 	{"ServedAnalyzeConcurrent", benchServedAnalyzeConcurrent},
+	{"ServedBatch", benchServedBatch},
+	{"PeerForwardedHit", benchPeerForwardedHit},
 	{"CoordinatorFanout", benchCoordinatorFanout},
 	{"CoordinatorFanoutDegraded", benchCoordinatorFanoutDegraded},
 }
@@ -358,6 +363,97 @@ func benchServedAnalyzeCached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		body.off = 0
 		h.ServeHTTP(w, req)
+	}
+}
+
+// benchServedBatch measures the all-hit /v1/batch path: one request, four
+// items, four cache lookups, four rendered lines — the amortized
+// per-request cost a coordinator or loadgen pays for batching instead of
+// four standalone round trips.
+func benchServedBatch(b *testing.B) {
+	h := serve.New(serve.Config{}).Handler()
+	batch := `{"items":[` +
+		`{"op":"analyze","request":{"scenario":{}}},` +
+		`{"op":"analyze","request":{"scenario":{"n":100}}},` +
+		`{"op":"latency","request":{"scenario":{}}},` +
+		`{"op":"design","request":{"scenario":{},"target_prob":0.95}}]}`
+	body := &replayBody{data: []byte(batch)}
+	req := httptest.NewRequest("POST", "/v1/batch", body)
+	w := &discardRW{h: make(http.Header)}
+	// Twice: the first populates every item's cache entry, the second
+	// must be all hits.
+	for i := 0; i < 2; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+		if w.code != 0 && w.code != http.StatusOK {
+			b.Fatalf("populate: status %d", w.code)
+		}
+	}
+	if got := w.h.Get("X-Cache"); got != "hit=4,miss=0,forward=0,error=0" {
+		b.Fatalf("populate did not reach the all-hit path: X-Cache %q", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.off = 0
+		h.ServeHTTP(w, req)
+	}
+}
+
+// benchPeerForwardedHit measures the sharded fleet's forwarded-hit path:
+// a two-replica fleet where the edge replica's cache is disabled, so
+// every iteration pays the full owner-computes hop — local routing, the
+// peer HTTP round trip, and the owner's cached lookup.
+func benchPeerForwardedHit(b *testing.B) {
+	var urls []string
+	var lns []net.Listener
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns = append(lns, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for i, ln := range lns {
+		cfg := serve.Config{Peers: urls, Self: urls[i]}
+		if i == 0 {
+			cfg.CacheEntries = -1 // the edge must re-forward every iteration
+		}
+		hs := &http.Server{Handler: serve.New(cfg).Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+	}
+	// Find a body the edge replica forwards (its key is owned by the
+	// peer); the probe also warms the owner's cache.
+	var body string
+	for n := 60; n < 400 && body == ""; n += 2 {
+		cand := fmt.Sprintf(`{"scenario":{"n":%d}}`, n)
+		resp, err := http.Post(urls[0]+"/v1/analyze", "application/json", strings.NewReader(cand))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if strings.HasPrefix(resp.Header.Get("X-Cache"), "forward-") {
+			body = cand
+		}
+	}
+	if body == "" {
+		b.Fatal("no sampled key routed to the peer")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(urls[0]+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
 	}
 }
 

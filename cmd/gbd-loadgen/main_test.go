@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/groupdetect/gbd/internal/serve"
+)
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-unknown"},
+		{},                                     // no targets
+		{"-targets", "http://x", "-rate", "0"}, // rate must be positive
+		{"-targets", "http://x", "-body-pool", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestLoadgenAgainstServer drives a short open-loop run at a real
+// in-process server and checks the report: traffic flowed, the pool
+// repeated enough to produce cache hits, batches parsed, nothing shed,
+// and the byte-identity map stayed clean.
+func TestLoadgenAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", ts.URL,
+		"-rate", "200", "-duration", "1s",
+		"-body-pool", "3", "-batch-every", "5",
+		"-min-hit-ratio", "0.3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.Bytes())
+	}
+	if rep.Arrivals == 0 || rep.OK == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Hits == 0 {
+		t.Errorf("3-body pool at 200/s produced no cache hits: %+v", rep)
+	}
+	if rep.ByteMismatches != 0 || rep.Unexpected != 0 || rep.Transport != 0 {
+		t.Errorf("run not clean: %+v", rep)
+	}
+	if rep.Hit.Count > 0 && rep.Hit.P50ms <= 0 {
+		t.Errorf("hit p50 not measured: %+v", rep.Hit)
+	}
+}
+
+// TestLoadgenHonorsRetryAfter: a target that always sheds with a long
+// Retry-After gets skipped — subsequent arrivals are dropped, not fired
+// into the backoff window.
+func TestLoadgenHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "60")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer shedder.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", shedder.URL,
+		"-rate", "100", "-duration", "500ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (shedding alone must not fail the default budgets)", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed429 == 0 {
+		t.Fatalf("shedder was never hit: %+v", rep)
+	}
+	if rep.Dropped == 0 {
+		t.Errorf("no arrivals dropped despite a 60s Retry-After: %+v", rep)
+	}
+	if n := hits.Load(); n > 3 {
+		t.Errorf("target hit %d times during its backoff window, want at most the pre-backoff probes", n)
+	}
+
+	// The same run fails once a shed budget is set.
+	if err := run([]string{
+		"-targets", shedder.URL,
+		"-rate", "100", "-duration", "200ms",
+		"-max-shed-ratio", "0",
+	}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "shed ratio") {
+		t.Errorf("shed budget violation not reported: %v", err)
+	}
+}
+
+// TestCompareGate: the -compare gate passes against a slow baseline and
+// fails against an absurdly fast one.
+func TestCompareGate(t *testing.T) {
+	write := func(ns float64) string {
+		path := filepath.Join(t.TempDir(), "bench.json")
+		blob, _ := json.Marshal([]map[string]any{{"name": "ServedAnalyzeCached", "ns_per_op": ns}})
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rep := &Report{Hit: Quantiles{Count: 100, P50ms: 1}} // 1ms observed
+	// 1ms observed vs 10µs baseline × 250 = 2.5ms limit: passes.
+	if err := gate(rep, 0, 1, write(10_000), 250); err != nil {
+		t.Errorf("compare should pass: %v", err)
+	}
+	// 1ms observed vs 1µs baseline × 250 = 0.25ms limit: fails.
+	if err := gate(rep, 0, 1, write(1_000), 250); err == nil {
+		t.Error("compare should fail against a fast baseline")
+	}
+	// A baseline without the gated entry is an error, not a silent pass.
+	path := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(path, []byte("[]"), 0o644)
+	if err := gate(rep, 0, 1, path, 250); err == nil {
+		t.Error("missing ServedAnalyzeCached entry should fail the gate")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	if q := quantiles(nil); q.Count != 0 || q.P50ms != 0 {
+		t.Errorf("empty quantiles = %+v", q)
+	}
+	lat := make([]time.Duration, 1000)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	q := quantiles(lat)
+	if q.Count != 1000 || q.P50ms != 500 || q.P99ms != 990 || q.P999 != 999 {
+		t.Errorf("quantiles = %+v, want p50=500 p99=990 p999=999", q)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in             string
+		hit, fwd, miss int
+	}{
+		{"hit", 1, 0, 0},
+		{"miss", 0, 0, 1},
+		{"dedup", 0, 0, 1},
+		{"forward-10.0.0.7:8080", 0, 1, 0},
+		{"hit=3,miss=1,forward=2,error=0", 3, 2, 1},
+		{"", 0, 0, 1},
+	}
+	for _, c := range cases {
+		h, f, m := classify(c.in)
+		if h != c.hit || f != c.fwd || m != c.miss {
+			t.Errorf("classify(%q) = %d,%d,%d want %d,%d,%d", c.in, h, f, m, c.hit, c.fwd, c.miss)
+		}
+	}
+}

@@ -10,6 +10,8 @@
 //	POST /v1/simulate             bounded Monte Carlo campaign with
 //	                              optional fault injection
 //	POST /v1/sweep                parameter sweep streamed as NDJSON
+//	POST /v1/batch                many operations in one request, one
+//	                              NDJSON line per item in input order
 //	GET  /v1/experiments/{id}     a registry experiment as a JSON table
 //	GET  /healthz                 liveness probe
 //	GET  /metrics                 JSON snapshot of the metrics registry
@@ -18,9 +20,14 @@
 // served bit-identically from an LRU over rendered bytes, concurrent
 // duplicates share a single computation, and an admission controller
 // (bounded queue in front of a bounded worker pool) sheds overload with
-// 429/503 instead of collapsing. SIGINT/SIGTERM drains gracefully:
-// in-flight requests — including NDJSON sweep streams — run to
-// completion, then the process exits 0.
+// 429/503 + Retry-After instead of collapsing. SIGINT/SIGTERM drains
+// gracefully: in-flight requests — including NDJSON sweep streams — run
+// to completion, then the process exits 0.
+//
+// With -peers (and -self), replicas of one build form a fleet: cache
+// keys are sharded across the replicas by consistent hashing, a miss on
+// a key owned elsewhere is forwarded to its owner, and no key is
+// computed by more than one replica (DESIGN.md §14).
 //
 // Usage:
 //
@@ -33,6 +40,9 @@
 //	curl -s -d '{"scenario":{}}' localhost:8080/v1/analyze
 //	curl -sN -d '{"scenario":{},"axis":"n","values":[60,120,180]}' \
 //	    localhost:8080/v1/sweep
+//	gbd-server -addr 127.0.0.1:8081 \
+//	    -peers http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	    -self  http://127.0.0.1:8081
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	gbd "github.com/groupdetect/gbd"
@@ -71,9 +82,12 @@ func run(args []string, w io.Writer) (err error) {
 		sweepWorkers = fs.Int("sweep-workers", 1, "concurrent points inside one sweep stream (0 = 1)")
 		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between sweep point retries")
 		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
-		heartbeat    = fs.Duration("sweep-heartbeat", 5*time.Second, "keep-alive heartbeat period on idle /v1/sweep streams (negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		rngName      = fs.String("rng", "", "default trial RNG scheme for requests without \"rng\": legacy (default) or philox")
+		maxBatch     = fs.Int("max-batch-items", 256, "largest accepted /v1/batch item list")
+		peersFlag    = fs.String("peers", "", "comma-separated fleet view for consistent-hash cache sharding: every replica's base URL (http://host:port), identical on every replica; empty disables sharding")
+		selfFlag     = fs.String("self", "", "this replica's own entry in -peers, verbatim (required with -peers)")
+		peerCooldown = fs.Duration("peer-cooldown", 2*time.Second, "how long a dead peer stays out of the ring before a re-admission probe")
 	)
 	// The sweep fault policy flag answers to both spellings of the shared
 	// vocabulary: -point-retries (gbd-faults) and -retries
@@ -111,18 +125,26 @@ func run(args []string, w io.Writer) (err error) {
 	defer cancel()
 
 	cfg := serve.Config{
-		CacheEntries:      *cacheEntries,
-		Workers:           *workers,
-		QueueDepth:        *queueDepth,
-		RequestTimeout:    *reqTimeout,
-		MaxTrials:         *maxTrials,
-		MaxSweepPoints:    *maxPoints,
-		SweepWorkers:      *sweepWorkers,
-		Retries:           pointRetries,
-		RetryBackoff:      *retryBackoff,
-		PointTimeout:      *pointTimeout,
-		HeartbeatInterval: *heartbeat,
-		RNG:               scheme,
+		CacheEntries:   *cacheEntries,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		MaxTrials:      *maxTrials,
+		MaxSweepPoints: *maxPoints,
+		SweepWorkers:   *sweepWorkers,
+		Retries:        pointRetries,
+		RetryBackoff:   *retryBackoff,
+		PointTimeout:   *pointTimeout,
+		RNG:            scheme,
+		MaxBatchItems:  *maxBatch,
+		PeerCooldown:   *peerCooldown,
+	}
+	if *peersFlag != "" {
+		cfg.Peers = strings.Split(*peersFlag, ",")
+		cfg.Self = *selfFlag
+		if err := cfg.ValidatePeers(); err != nil {
+			return err
+		}
 	}
 	sess.SetParams(cfg)
 	srv := serve.New(cfg)

@@ -4,6 +4,13 @@
 // garbled NDJSON, out-of-order indexes — is classified as a transient
 // transport error the scheduler may retry on another worker. Only a 4xx
 // rejection or an application-level point failure is permanent.
+//
+// A shard travels over one of two wire shapes: the /v1/sweep NDJSON
+// stream (default), or — with Config.UseBatch — a /v1/batch request of
+// sweep_point items. Both return the same row bytes for the same points,
+// so the ledger merge is byte-identical either way; batch mode
+// additionally lets workers serve repeated points from their result
+// cache and shard-forward them across a fleet.
 package fabric
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -23,12 +31,38 @@ import (
 
 // transportError is a transient wire-level failure: the shard's work is
 // untouched and a re-dispatch (same worker later, or another worker) is
-// expected to succeed.
+// expected to succeed. retryAfter, when positive, is the worker's own
+// Retry-After estimate from a 429/503 shed — the scheduler backs off at
+// least that long instead of hammering an overloaded worker.
 type transportError struct {
-	msg string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *transportError) Error() string { return "fabric: transport: " + e.msg }
+
+// retryAfterHint extracts a worker's Retry-After backoff from a shard
+// failure (0 when the error carried none).
+func retryAfterHint(err error) time.Duration {
+	var te *transportError
+	if errors.As(err, &te) {
+		return te.retryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form gbd-server emits); anything unparsable is 0.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(h)
+	if err != nil || sec <= 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
 
 // rejectError is a permanent worker rejection (4xx): the request itself
 // is invalid and no amount of re-dispatching will change that.
@@ -69,10 +103,150 @@ type client struct {
 	hc           *http.Client
 	stallTimeout time.Duration
 	heartbeatMS  int64
+	useBatch     bool
 }
 
 // maxLineBytes bounds one NDJSON row (matches the serve body bound).
 const maxLineBytes = 1 << 20
+
+// watchdog is the per-attempt stall detector: any byte of progress (row
+// or heartbeat) resets it; firing cancels the attempt context so the
+// failure classifies as a stall rather than hanging forever.
+type watchdog struct {
+	ctx      context.Context
+	reqCtx   context.Context
+	timeout  time.Duration
+	stalled  atomic.Bool
+	progress func()
+	stop     func()
+}
+
+func (c *client) newWatchdog(ctx context.Context) *watchdog {
+	w := &watchdog{ctx: ctx, reqCtx: ctx, timeout: c.stallTimeout, progress: func() {}, stop: func() {}}
+	if c.stallTimeout > 0 {
+		actx, cancel := context.WithCancel(ctx)
+		w.ctx = actx
+		wd := time.AfterFunc(c.stallTimeout, func() {
+			w.stalled.Store(true)
+			cancel()
+		})
+		w.progress = func() { wd.Reset(c.stallTimeout) }
+		w.stop = func() { wd.Stop(); cancel() }
+	}
+	return w
+}
+
+// classify maps a wire failure to its scheduler meaning: stall, caller
+// cancellation, or a retryable transport error.
+func (w *watchdog) classify(err error) error {
+	if w.stalled.Load() {
+		fabricStalls.Inc()
+		return &transportError{msg: fmt.Sprintf("no progress for %v (stalled stream)", w.timeout)}
+	}
+	if cerr := w.reqCtx.Err(); cerr != nil {
+		return cerr
+	}
+	return &transportError{msg: err.Error()}
+}
+
+// fetch retrieves one shard over the configured wire shape.
+func (c *client) fetch(ctx context.Context, baseURL string, req serve.SweepRequest, start int, values []float64) ([][]byte, error) {
+	if c.useBatch {
+		return c.fetchBatch(ctx, baseURL, req, start, values)
+	}
+	return c.fetchShard(ctx, baseURL, req, start, values)
+}
+
+// do posts body to baseURL+path and hands the response stream to scan.
+// Non-200 statuses are classified here: permanent 4xx rejection, or a
+// transient transport error carrying any Retry-After hint.
+func (c *client) do(wd *watchdog, baseURL, path string, body []byte, scan func(*http.Response) ([][]byte, error)) ([][]byte, error) {
+	hreq, err := http.NewRequestWithContext(wd.ctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fabric: build shard request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, wd.classify(err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxLineBytes))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		msg := string(bytes.TrimSpace(slurp))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, &rejectError{status: resp.StatusCode, body: msg}
+		}
+		return nil, &transportError{
+			msg:        fmt.Sprintf("status %d: %s", resp.StatusCode, msg),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+	wd.progress()
+	return scan(resp)
+}
+
+// scanRows consumes an NDJSON row stream: heartbeats are skipped, index
+// order is enforced, and — when bareErrorIndex is true (batch mode) — an
+// index-less error line is attributed to the next expected point.
+func (c *client) scanRows(wd *watchdog, body io.Reader, keepGoing, bareErrorIndex bool, start int, values []float64) ([][]byte, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	lines := make([][]byte, 0, len(values))
+	next := start
+	for sc.Scan() {
+		wd.progress()
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var p rowProbe
+		if err := json.Unmarshal(line, &p); err != nil {
+			// A truncated or garbled row: the stream is broken, not the
+			// shard — recompute elsewhere.
+			return nil, &transportError{msg: fmt.Sprintf("garbled NDJSON row %q", line)}
+		}
+		if p.HB {
+			fabricHeartbeats.Inc()
+			continue
+		}
+		if p.Index == nil {
+			if bareErrorIndex && p.Error != "" {
+				// A batch error line carries no index; items answer in
+				// order, so it belongs to the next expected point.
+				return nil, &pointError{index: next, msg: p.Error}
+			}
+			return nil, &transportError{msg: fmt.Sprintf("row out of order: got index %v, want %d", p.Index, next)}
+		}
+		if *p.Index != next {
+			return nil, &transportError{msg: fmt.Sprintf("row out of order: got index %v, want %d", p.Index, next)}
+		}
+		if p.Error != "" && !keepGoing {
+			// The worker's sweep engine stopped at an application failure.
+			// The rest of this shard is "skipped" filler that must never
+			// reach the ledger; surface the failure at its global index.
+			return nil, &pointError{index: *p.Index, msg: p.Error}
+		}
+		lines = append(lines, append([]byte(nil), line...))
+		fabricRows.Inc()
+		next++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, wd.classify(err)
+	}
+	if got := next - start; got != len(values) {
+		// The stream ended cleanly but short — a mid-flight truncation the
+		// HTTP layer couldn't see (e.g. a proxy cutting a chunked stream).
+		if err := wd.ctx.Err(); err != nil {
+			return nil, wd.classify(err)
+		}
+		return nil, &transportError{msg: fmt.Sprintf("truncated stream: got %d of %d rows", got, len(values))}
+	}
+	return lines, nil
+}
 
 // fetchShard posts one shard of the campaign to a worker's /v1/sweep and
 // returns the raw data-row lines, exactly one per value, in order. The
@@ -88,100 +262,41 @@ func (c *client) fetchShard(ctx context.Context, baseURL string, req serve.Sweep
 	if err != nil {
 		return nil, fmt.Errorf("fabric: encode shard request: %w", err)
 	}
+	wd := c.newWatchdog(ctx)
+	defer wd.stop()
+	return c.do(wd, baseURL, "/v1/sweep", body, func(resp *http.Response) ([][]byte, error) {
+		return c.scanRows(wd, resp.Body, req.KeepGoing, false, start, values)
+	})
+}
 
-	actx := ctx
-	var stalled atomic.Bool
-	progress := func() {}
-	if c.stallTimeout > 0 {
-		var cancel context.CancelFunc
-		actx, cancel = context.WithCancel(ctx)
-		defer cancel()
-		wd := time.AfterFunc(c.stallTimeout, func() {
-			stalled.Store(true)
-			cancel()
+// fetchBatch posts one shard as a /v1/batch of sweep_point items and
+// returns the same row lines /v1/sweep would have streamed for the same
+// points (the worker renders both through one code path). Batch streams
+// have no heartbeats — lines land as items resolve, which is itself the
+// progress signal; New rejects keep-going campaigns in batch mode since
+// batch error lines are out-of-band (no index/axis/value columns).
+func (c *client) fetchBatch(ctx context.Context, baseURL string, req serve.SweepRequest, start int, values []float64) ([][]byte, error) {
+	items := make([]serve.BatchItem, 0, len(values))
+	for i, v := range values {
+		raw, err := json.Marshal(serve.SweepPointRequest{
+			Scenario: req.Scenario, Options: req.Options, Axis: req.Axis,
+			Value: v, Index: start + i, Trials: req.Trials, Seed: req.Seed,
+			RNG: req.RNG,
 		})
-		defer wd.Stop()
-		progress = func() { wd.Reset(c.stallTimeout) }
-	}
-	classify := func(err error) error {
-		if stalled.Load() {
-			fabricStalls.Inc()
-			return &transportError{msg: fmt.Sprintf("no progress for %v (stalled stream)", c.stallTimeout)}
+		if err != nil {
+			return nil, fmt.Errorf("fabric: encode batch item: %w", err)
 		}
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
-		}
-		return &transportError{msg: err.Error()}
+		items = append(items, serve.BatchItem{Op: "sweep_point", Request: raw})
 	}
-
-	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, baseURL+"/v1/sweep", bytes.NewReader(body))
+	body, err := json.Marshal(serve.BatchRequest{Items: items})
 	if err != nil {
-		return nil, fmt.Errorf("fabric: build shard request: %w", err)
+		return nil, fmt.Errorf("fabric: encode batch request: %w", err)
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(hreq)
-	if err != nil {
-		return nil, classify(err)
-	}
-	defer func() {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, maxLineBytes))
-		resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusOK {
-		slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		msg := string(bytes.TrimSpace(slurp))
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
-			return nil, &rejectError{status: resp.StatusCode, body: msg}
-		}
-		return nil, &transportError{msg: fmt.Sprintf("status %d: %s", resp.StatusCode, msg)}
-	}
-	progress()
-
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
-	lines := make([][]byte, 0, len(values))
-	next := start
-	for sc.Scan() {
-		progress()
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var p rowProbe
-		if err := json.Unmarshal(line, &p); err != nil {
-			// A truncated or garbled row: the stream is broken, not the
-			// shard — recompute elsewhere.
-			return nil, &transportError{msg: fmt.Sprintf("garbled NDJSON row %q", line)}
-		}
-		if p.HB {
-			fabricHeartbeats.Inc()
-			continue
-		}
-		if p.Index == nil || *p.Index != next {
-			return nil, &transportError{msg: fmt.Sprintf("row out of order: got index %v, want %d", p.Index, next)}
-		}
-		if p.Error != "" && !req.KeepGoing {
-			// The worker's sweep engine stopped at an application failure.
-			// The rest of this shard is "skipped" filler that must never
-			// reach the ledger; surface the failure at its global index.
-			return nil, &pointError{index: *p.Index, msg: p.Error}
-		}
-		lines = append(lines, append([]byte(nil), line...))
-		fabricRows.Inc()
-		next++
-	}
-	if err := sc.Err(); err != nil {
-		return nil, classify(err)
-	}
-	if got := next - start; got != len(values) {
-		// The stream ended cleanly but short — a mid-flight truncation the
-		// HTTP layer couldn't see (e.g. a proxy cutting a chunked stream).
-		if err := actx.Err(); err != nil {
-			return nil, classify(err)
-		}
-		return nil, &transportError{msg: fmt.Sprintf("truncated stream: got %d of %d rows", got, len(values))}
-	}
-	return lines, nil
+	wd := c.newWatchdog(ctx)
+	defer wd.stop()
+	return c.do(wd, baseURL, "/v1/batch", body, func(resp *http.Response) ([][]byte, error) {
+		return c.scanRows(wd, resp.Body, false, true, start, values)
+	})
 }
 
 // isTransient reports whether a shard attempt failure is a wire-level

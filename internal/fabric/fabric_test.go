@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -572,3 +573,139 @@ func TestShardPlanning(t *testing.T) {
 		t.Fatalf("planShards = %v, want %v", got, want)
 	}
 }
+
+// TestBatchModeByteIdentity: UseBatch dispatches shards as /v1/batch
+// sweep_point items, and the merged result is still byte-identical to a
+// single-machine /v1/sweep stream.
+func TestBatchModeByteIdentity(t *testing.T) {
+	req := campaign(12)
+	want := reference(t, req)
+	workers := []string{newWorker(t).URL, newWorker(t).URL, newWorker(t).URL}
+	cfg := baseConfig(t, workers, req)
+	cfg.UseBatch = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != rep.Shards || rep.Retried != 0 {
+		t.Fatalf("batch-mode report off: %+v", rep)
+	}
+	got := merged(t, c)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batch-mode merged stream differs from single-machine stream:\ngot  %q\nwant %q", got, want)
+	}
+	assertNoDoubleCount(t, got, len(req.Values))
+}
+
+// TestBatchModeRejectsKeepGoing: batch error lines carry no index, so a
+// keep-going campaign cannot be reproduced in batch mode — New refuses.
+func TestBatchModeRejectsKeepGoing(t *testing.T) {
+	req := campaign(4)
+	req.KeepGoing = true
+	cfg := baseConfig(t, []string{"http://127.0.0.1:0"}, req)
+	cfg.UseBatch = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("UseBatch with keep_going should be rejected")
+	}
+}
+
+// TestBatchModePointError: an invalid point inside a batch shard surfaces
+// as a permanent pointError at the campaign-global index of the failed
+// item, preserving the lowest-index-error contract.
+func TestBatchModePointError(t *testing.T) {
+	req := campaign(6)
+	req.Values[4] = -50 // invalid n: the point fails permanently
+	cfg := baseConfig(t, []string{newWorker(t).URL}, req)
+	cfg.UseBatch = true
+	cfg.ShardSize = 6
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	var pe *pointError
+	if err == nil || !errorsAs(err, &pe) || pe.index != 4 {
+		t.Fatalf("Run err = %v, want pointError at index 4", err)
+	}
+}
+
+// TestRetryAfterBackoff: a worker shedding with Retry-After pushes the
+// shard's next dispatch out at least that far — the scheduler must not
+// hammer an overloaded worker at its own jittered (much shorter) backoff.
+func TestRetryAfterBackoff(t *testing.T) {
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Errorf("parseRetryAfter(3) = %v", d)
+	}
+	for _, bad := range []string{"", "x", "-2", "0"} {
+		if d := parseRetryAfter(bad); d != 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, want 0", bad, d)
+		}
+	}
+	if got := retryAfterHint(&transportError{retryAfter: 2 * time.Second}); got != 2*time.Second {
+		t.Errorf("retryAfterHint = %v", got)
+	}
+	if got := retryAfterHint(&rejectError{}); got != 0 {
+		t.Errorf("retryAfterHint(reject) = %v, want 0", got)
+	}
+
+	// End to end: a worker that sheds the first attempt with
+	// Retry-After: 1 then serves. The retry must land at least ~1s later
+	// even though RetryBackoff is 2ms.
+	real := newWorker(t)
+	var mu sync.Mutex
+	shed := true
+	var shedAt, retryAt time.Time
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		first := shed
+		shed = false
+		if first {
+			shedAt = time.Now()
+			mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		retryAt = time.Now()
+		mu.Unlock()
+		u := *r.URL
+		pr, err := http.Post(real.URL+u.Path, "application/json", r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer pr.Body.Close()
+		w.WriteHeader(pr.StatusCode)
+		io.Copy(w, pr.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	req := campaign(3)
+	cfg := baseConfig(t, []string{proxy.URL}, req)
+	cfg.ShardSize = 3
+	cfg.CircuitThreshold = 10 // keep the lone worker admissible
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Retried != 1 {
+		t.Fatalf("retried = %d, want 1: %+v", rep.Retried, rep)
+	}
+	mu.Lock()
+	gap := retryAt.Sub(shedAt)
+	mu.Unlock()
+	if gap < 900*time.Millisecond {
+		t.Fatalf("retry landed %v after the shed, want >= ~1s (Retry-After honored)", gap)
+	}
+}
+
+// errorsAs is a local alias so the test reads cleanly.
+func errorsAs(err error, target any) bool { return errors.As(err, target) }

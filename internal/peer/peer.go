@@ -1,0 +1,282 @@
+// Package peer is the fleet-membership layer behind gbd-server's
+// consistent-hash cache sharding (DESIGN.md §14): every replica is given
+// the same ordered fleet view (the -peers flag), builds the same hash
+// ring over it, and therefore computes the same owner for every cache
+// key — no coordination service, no gossip, just an agreed pure function
+// from key to replica. A request whose key is owned elsewhere is
+// forwarded to the owner (groupcache-style owner-computes), so N
+// replicas deduplicate compute as if they shared one cache.
+//
+// The package has two halves:
+//
+//   - Ring: an immutable consistent-hash ring with virtual nodes. Owner
+//     lookup walks clockwise from the key's hash point and returns the
+//     first member the caller's liveness predicate admits, so ownership
+//     re-hashes deterministically around dead replicas.
+//   - Health: per-member failure tracking with the same
+//     consecutive-failure / cooldown / single-probe shape as the fabric
+//     coordinator's circuit breaker, but safe for concurrent request
+//     handlers.
+//
+// Picker binds the two together with the replica's own identity.
+package peer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// defaultVirtualNodes spreads each member over this many ring points, so
+// ownership stays near-uniform even for 2-3 member fleets and re-hashing
+// a dead member's keys spreads over the survivors instead of dumping
+// them all on one neighbor.
+const defaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over a fixed member list.
+// Two rings built from equal member slices (same strings, same order)
+// are identical, which is the whole point: every replica must agree on
+// every key's owner without talking to each other.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (<= 0 uses
+// the default). Members must be non-empty and free of duplicates.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("peer: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{
+		members: append([]string(nil), members...),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	for i, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("peer: empty member URL at index %d", i)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("peer: duplicate member %q", m)
+		}
+		seen[m] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(m + "#" + strconv.Itoa(v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.member < q.member // total order: ties cannot depend on input order
+	})
+	return r, nil
+}
+
+// Members returns the fleet view the ring was built from.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member index owning key: the first ring point at or
+// clockwise after the key's hash whose member the alive predicate
+// admits. A nil predicate admits everyone. If no member is admitted the
+// unfiltered owner is returned — with the whole fleet down, computing
+// locally beats failing.
+func (r *Ring) Owner(key string, alive func(member int) bool) int {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	first := -1
+	asked := make(map[int]bool, len(r.members))
+	for off := 0; off < len(r.points) && len(asked) < len(r.members); off++ {
+		m := r.points[(start+off)%len(r.points)].member
+		if asked[m] {
+			continue
+		}
+		asked[m] = true
+		if first < 0 {
+			first = m
+		}
+		if alive == nil || alive(m) {
+			return m
+		}
+	}
+	return first
+}
+
+// hash64 is FNV-1a over the string. The keys being placed are already
+// sha256-derived cache fingerprints, so a fast non-cryptographic mix is
+// enough for balance; the member points get the same treatment so both
+// sides of the comparison live in one hash space.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Health tracks per-member availability with a circuit-breaker state
+// machine (closed → open after Threshold consecutive failures → one
+// probe after Cooldown → closed on success, open again on failure). It
+// is called concurrently by request handlers, unlike the fabric
+// coordinator's single-goroutine breaker.
+type Health struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	states    []memberHealth
+}
+
+type memberHealth struct {
+	failures  int
+	state     int // breaker state: closed / open / probing
+	openUntil time.Time
+}
+
+const (
+	hClosed = iota
+	hOpen
+	hProbing
+)
+
+// NewHealth tracks n members; threshold consecutive failures open a
+// member's circuit (<= 0 means 1: a single failed forward re-hashes
+// immediately, the cheapest correct default when the fallback is
+// computing locally), and cooldown is the open period before the single
+// re-admission probe (<= 0 defaults to 2s).
+func NewHealth(n, threshold int, cooldown time.Duration) *Health {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Health{threshold: threshold, cooldown: cooldown, states: make([]memberHealth, n)}
+}
+
+// Alive reports whether member may receive a request now. An open
+// member whose cooldown has elapsed transitions to probing and is
+// admitted exactly once; further callers see it dead until the probe's
+// OnSuccess or OnFailure lands.
+func (h *Health) Alive(member int, now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := &h.states[member]
+	switch st.state {
+	case hClosed:
+		return true
+	case hOpen:
+		if now.Before(st.openUntil) {
+			return false
+		}
+		st.state = hProbing
+		return true
+	default: // probing: one request is already finding out
+		return false
+	}
+}
+
+// OnSuccess records a successful request to member, closing its circuit.
+func (h *Health) OnSuccess(member int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := &h.states[member]
+	st.failures = 0
+	st.state = hClosed
+}
+
+// OnFailure records a failed request to member and reports whether this
+// failure opened (or re-opened) the circuit. A failed probe re-opens
+// immediately regardless of the threshold.
+func (h *Health) OnFailure(member int, now time.Time) (opened bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := &h.states[member]
+	st.failures++
+	if st.state == hProbing || st.failures >= h.threshold {
+		st.state = hOpen
+		st.openUntil = now.Add(h.cooldown)
+		st.failures = 0
+		return true
+	}
+	return false
+}
+
+// Options tunes a Picker.
+type Options struct {
+	// VirtualNodes per member on the ring (<= 0 uses the default).
+	VirtualNodes int
+	// Threshold and Cooldown parameterize Health (see NewHealth).
+	Threshold int
+	Cooldown  time.Duration
+}
+
+// Picker is one replica's view of the fleet: the shared ring, the local
+// health table, and this replica's own index. It answers the only
+// question the serving layer asks — "who owns this key right now?"
+type Picker struct {
+	ring   *Ring
+	health *Health
+	self   int
+}
+
+// NewPicker builds a Picker for the replica self within the fleet view
+// peers. self must appear in peers verbatim — a replica that is not in
+// its own fleet view would forward keys it owns.
+func NewPicker(peers []string, self string, opt Options) (*Picker, error) {
+	ring, err := NewRing(peers, opt.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	selfIdx := -1
+	for i, p := range peers {
+		if p == self {
+			selfIdx = i
+			break
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("peer: self %q is not in the fleet view %v", self, peers)
+	}
+	return &Picker{
+		ring:   ring,
+		health: NewHealth(len(peers), opt.Threshold, opt.Cooldown),
+		self:   selfIdx,
+	}, nil
+}
+
+// Route returns the live owner of key: its member index, URL, and
+// whether that owner is this replica (compute locally). The local
+// replica is always considered alive to itself.
+func (p *Picker) Route(key string) (member int, url string, self bool) {
+	now := time.Now()
+	member = p.ring.Owner(key, func(m int) bool {
+		return m == p.self || p.health.Alive(m, now)
+	})
+	return member, p.ring.members[member], member == p.self
+}
+
+// OnSuccess records a successful forward to member.
+func (p *Picker) OnSuccess(member int) { p.health.OnSuccess(member) }
+
+// OnFailure records a failed forward to member, returning whether it
+// opened the member's circuit (the caller may want to count deaths).
+func (p *Picker) OnFailure(member int) bool {
+	return p.health.OnFailure(member, time.Now())
+}
+
+// Self returns this replica's member index.
+func (p *Picker) Self() int { return p.self }

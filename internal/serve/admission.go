@@ -24,6 +24,22 @@ type admission struct {
 	slots  chan struct{}
 }
 
+// retryAfterSeconds estimates when a shed request is worth retrying:
+// roughly one queue drain at one computation-second per worker
+// (queued / workers), floored at 1s so the header is never zero and
+// capped at 30s so a transient spike cannot park clients for minutes.
+// It is deterministic in the admission state, so tests can pin it.
+func (a *admission) retryAfterSeconds() int {
+	sec := a.queued.Load() / int64(cap(a.slots))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return int(sec)
+}
+
 // newAdmission builds a controller with the given pool size and queue
 // bound (both >= 1).
 func newAdmission(workers, depth int) *admission {

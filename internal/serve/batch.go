@@ -1,0 +1,309 @@
+// The /v1/batch handler: many analysis/simulation points in one request,
+// answered as an NDJSON stream with one line per item in input order.
+// Each line is bit-identical to the item's standalone /v1/* response — a
+// batch item and the equivalent single request render through the same
+// renderCompute path and read/populate the same cache keys, so warming
+// the cache through one surface warms it for the other.
+//
+// The batch holds at most ONE admission slot (acquired only when some
+// item actually computes locally), the same discipline as a sweep stream:
+// a 256-item batch costs the pool one worker, not 256, and a shed batch
+// is a single 429/503 with Retry-After before any line is written.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/groupdetect/gbd/internal/detect"
+)
+
+// BatchRequest is the /v1/batch body: an ordered list of operations.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItem is one batch operation: an op name and the op's standalone
+// request body (the same JSON that POST /v1/<op> accepts; "sweep_point"
+// takes a SweepPointRequest).
+type BatchItem struct {
+	Op      string          `json:"op"`
+	Request json.RawMessage `json:"request"`
+}
+
+// SweepPointRequest is the "sweep_point" batch op: one point of a
+// /v1/sweep grid as an individually cacheable item. Its rendered line is
+// byte-identical to the SweepRow the streaming endpoint would emit for
+// the same point, so a coordinator may fetch a shard as a batch and
+// still merge rows byte-identically with a single-machine stream. Index
+// is the campaign-global row index to echo (the stream's index_base + i).
+type SweepPointRequest struct {
+	Scenario Scenario       `json:"scenario"`
+	Options  AnalyzeOptions `json:"options,omitempty"`
+	Axis     SweepAxis      `json:"axis"`
+	Value    float64        `json:"value"`
+	Index    int            `json:"index,omitempty"`
+	Trials   int            `json:"trials,omitempty"`
+	Seed     int64          `json:"seed,omitempty"`
+	RNG      string         `json:"rng,omitempty"`
+}
+
+// sweepPointCanonical is the fingerprinted form of a SweepPointRequest.
+// Index participates: the row's bytes echo it, and cached bytes must be
+// exact.
+type sweepPointCanonical struct {
+	Scenario scenarioEcho   `json:"scenario"`
+	Options  AnalyzeOptions `json:"options"`
+	Axis     SweepAxis      `json:"axis"`
+	Value    float64        `json:"value"`
+	Index    int            `json:"index"`
+	Trials   int            `json:"trials"`
+	RNG      string         `json:"rng,omitempty"`
+}
+
+// sweepPointKey validates a SweepPointRequest and returns its base
+// parameters and cache key.
+func (s *Server) sweepPointKey(req SweepPointRequest) (detect.Params, string, error) {
+	var p detect.Params
+	switch req.Axis {
+	case AxisN, AxisV, AxisK, AxisM, AxisPd, AxisDeadFrac:
+	default:
+		return p, "", fmt.Errorf("axis = %q must be one of n, v, k, m, pd, dead_frac: %w", req.Axis, ErrRequest)
+	}
+	if req.Trials < 0 || req.Trials > s.cfg.MaxTrials {
+		return p, "", fmt.Errorf("trials = %d must be in [0, %d]: %w", req.Trials, s.cfg.MaxTrials, ErrRequest)
+	}
+	if req.Index < 0 {
+		return p, "", fmt.Errorf("index = %d must be >= 0: %w", req.Index, ErrRequest)
+	}
+	p, err := req.Scenario.params()
+	if err != nil {
+		return p, "", err
+	}
+	scheme, err := s.resolveRNG(req.RNG)
+	if err != nil {
+		return p, "", err
+	}
+	canon := sweepPointCanonical{
+		Scenario: echoParams(p), Options: req.Options,
+		Axis: req.Axis, Value: req.Value, Index: req.Index,
+		Trials: req.Trials, RNG: canonRNG(scheme),
+	}
+	key, err := cacheKey("/v1/batch/sweep_point", canon, req.Seed)
+	return p, key, err
+}
+
+// planItem resolves one batch item to its cache key and local compute.
+// The compute closures are the standalone handlers' closures, so the
+// rendered bytes and cache entries are shared with the /v1/* surface by
+// construction.
+func (s *Server) planItem(it BatchItem) (string, func(ctx context.Context) (any, error), error) {
+	if len(it.Request) == 0 {
+		return "", nil, fmt.Errorf("batch item %q missing request: %w", it.Op, ErrRequest)
+	}
+	switch it.Op {
+	case "analyze":
+		var req AnalyzeRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		p, key, err := s.analyzeKey(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return key, func(ctx context.Context) (any, error) { return s.computeAnalyze(ctx, p, req) }, nil
+	case "design":
+		var req DesignRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		p, key, err := s.designKey(&req)
+		if err != nil {
+			return "", nil, err
+		}
+		return key, func(ctx context.Context) (any, error) { return s.computeDesign(ctx, p, req) }, nil
+	case "latency":
+		var req LatencyRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		p, key, err := s.latencyKey(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return key, func(ctx context.Context) (any, error) { return s.computeLatency(ctx, p, req) }, nil
+	case "simulate":
+		var req SimulateRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		p, key, err := s.simulateKey(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return key, func(ctx context.Context) (any, error) { return s.computeSimulate(ctx, p, req) }, nil
+	case "sweep_point":
+		var req SweepPointRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		p, key, err := s.sweepPointKey(req)
+		if err != nil {
+			return "", nil, err
+		}
+		// sweepPoint renders through the same SweepRow the streaming
+		// endpoint marshals, with IndexBase carrying the global index.
+		sreq := SweepRequest{
+			Scenario: req.Scenario, Options: req.Options, Axis: req.Axis,
+			Trials: req.Trials, Seed: req.Seed, RNG: req.RNG,
+			IndexBase: req.Index,
+		}
+		return key, func(ctx context.Context) (any, error) {
+			row, err := s.sweepPoint(ctx, p, sreq, 0, req.Value)
+			if err != nil {
+				return nil, err
+			}
+			return row, nil
+		}, nil
+	}
+	return "", nil, fmt.Errorf("op = %q must be one of analyze, design, latency, simulate, sweep_point: %w", it.Op, ErrRequest)
+}
+
+// forwardItem routes one batch item to the replica owning its key,
+// replayed as a single-item batch (uniform for every op, including
+// sweep_point which has no standalone endpoint). The returned bytes are
+// the owner's rendered line. ok=false means compute locally; like
+// tryForward, failures never surface as errors.
+func (s *Server) forwardItem(r *http.Request, key string, it BatchItem) ([]byte, bool) {
+	if s.peers == nil || r.Header.Get(peerHeader) != "" {
+		return nil, false
+	}
+	fwd := &forwardSpec{endpoint: "/v1/batch", body: func() ([]byte, error) {
+		b, err := json.Marshal(BatchRequest{Items: []BatchItem{it}})
+		if err != nil {
+			return nil, fmt.Errorf("serve: marshal forward item: %w", err)
+		}
+		return b, nil
+	}}
+	for attempt := 0; attempt < 2; attempt++ {
+		member, url, self := s.peers.Route(key)
+		if self {
+			return nil, false
+		}
+		b, status, xcache, err := s.peerFetch(r, url, fwd)
+		if err != nil {
+			peerForwardFails.Inc()
+			if s.peers.OnFailure(member) {
+				peerDeaths.Inc()
+			}
+			continue
+		}
+		s.peers.OnSuccess(member)
+		// The owner answered: a non-200 (shed batch) or an in-band error
+		// line (error=1 in its aggregate header) is not cacheable — fall
+		// back to local compute without marking the peer dead.
+		if status != http.StatusOK || len(b) == 0 || !strings.HasSuffix(xcache, ",error=0") {
+			peerForwardFails.Inc()
+			return nil, false
+		}
+		return b, true
+	}
+	return nil, false
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if n := len(req.Items); n < 1 || n > s.cfg.MaxBatchItems {
+		s.writeError(w, fmt.Errorf("items must hold between 1 and %d operations, got %d: %w", s.cfg.MaxBatchItems, len(req.Items), ErrRequest))
+		return
+	}
+	batchRequests.Inc()
+	batchItems.Add(uint64(len(req.Items)))
+
+	// Classification pass: every item resolves to hit, forward, miss, or
+	// error before any compute runs, so the aggregate X-Cache header can
+	// precede the stream. A compute that later fails still lands as an
+	// in-band error line; the header reflects lookup-time classification.
+	type itemState struct {
+		key     string
+		compute func(ctx context.Context) (any, error)
+		body    []byte
+		err     error
+	}
+	states := make([]*itemState, len(req.Items))
+	var hits, misses, forwards, errs int
+	for i, it := range req.Items {
+		st := &itemState{}
+		states[i] = st
+		key, compute, err := s.planItem(it)
+		if err != nil {
+			st.err = err
+			errs++
+			continue
+		}
+		st.key, st.compute = key, compute
+		if body, ok := s.cache.get(key); ok {
+			lookupHit()
+			hits++
+			st.body = body
+			continue
+		}
+		if body, ok := s.forwardItem(r, key, it); ok {
+			lookupForward()
+			forwards++
+			s.cache.add(key, body)
+			st.body = body
+			continue
+		}
+		lookupMiss()
+		misses++
+	}
+
+	// One admission slot covers every local compute in the batch, acquired
+	// before the header so a shed batch is a clean 429/503 + Retry-After.
+	// An all-hit (or all-forward) batch never touches the pool.
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if misses > 0 {
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		defer release()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", fmt.Sprintf("hit=%d,miss=%d,forward=%d,error=%d", hits, misses, forwards, errs))
+	flusher, _ := w.(http.Flusher)
+	for _, st := range states {
+		line := st.body
+		if line == nil && st.err == nil {
+			// Singleflight still dedups against standalone requests and
+			// other batches; the fn holds this batch's slot, never a
+			// second one.
+			body, err, _ := s.flight.do(st.key, func() ([]byte, error) {
+				return s.renderCompute(ctx, st.key, "", st.compute)
+			})
+			if err != nil {
+				st.err = err
+			} else {
+				line = body
+			}
+		}
+		if st.err != nil {
+			line = errorBody(st.err)
+		}
+		w.Write(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

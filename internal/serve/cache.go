@@ -10,6 +10,11 @@ import (
 // to the response that populated it. The lock is held only for map and
 // list pointer updates — never across a computation — so the cache cannot
 // serialize request handling.
+//
+// Lookups are metrics-free: the call site classifies each one as exactly
+// one of hit, miss, or peer-forward (metrics.go), because only the caller
+// knows whether a miss was computed locally or satisfied by the key's
+// owning replica.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -17,10 +22,14 @@ type resultCache struct {
 	items map[string]*list.Element
 }
 
-// cacheEntry is one LRU slot.
+// cacheEntry is one LRU slot. An entry may carry one alias — the raw
+// request-body digest attached by the fast path — indexed in the same
+// map but charged against the same slot: the alias lives and dies with
+// the entry instead of occupying (and leaking) LRU capacity of its own.
 type cacheEntry struct {
-	key  string
-	body []byte
+	key   string
+	alias string
+	body  []byte
 }
 
 // newResultCache builds an LRU holding at most capacity entries;
@@ -33,18 +42,14 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached body for key and whether it was present,
-// recording the lookup outcome in the cache metrics.
+// get returns the cached body for key and whether it was present.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cacheLookups.Inc()
 	el, ok := c.items[key]
 	if !ok {
-		cacheMisses.Inc()
 		return nil, false
 	}
-	cacheHits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).body, true
 }
@@ -56,13 +61,10 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 func (c *resultCache) getBytes(key []byte) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cacheLookups.Inc()
 	el, ok := c.items[string(key)]
 	if !ok {
-		cacheMisses.Inc()
 		return nil, false
 	}
-	cacheHits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).body, true
 }
@@ -83,14 +85,50 @@ func (c *resultCache) add(key string, body []byte) {
 	for c.order.Len() >= c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		if e.alias != "" {
+			delete(c.items, e.alias)
+		}
 		cacheEvictions.Inc()
 	}
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
 	cacheEntries.Set(int64(c.order.Len()))
 }
 
-// len returns the current entry count.
+// attachAlias indexes the entry stored under key by a second map key
+// (the raw-body digest) without consuming an LRU slot: the alias shares
+// the entry's slot and is removed with it on eviction. A no-op when the
+// key is absent or caching is disabled.
+func (c *resultCache) attachAlias(key, alias string) {
+	if c.cap <= 0 || alias == "" || alias == key {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.alias == alias {
+		return
+	}
+	// If the alias currently indexes another entry (possible only across
+	// weird re-keying; defensive), detach it there first so one alias
+	// never points at two slots.
+	if old, ok := c.items[alias]; ok && old != el {
+		old.Value.(*cacheEntry).alias = ""
+	}
+	if e.alias != "" {
+		delete(c.items, e.alias)
+	}
+	e.alias = alias
+	c.items[alias] = el
+}
+
+// len returns the current entry count (aliases share their entry's slot
+// and are not counted).
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

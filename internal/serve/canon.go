@@ -227,11 +227,12 @@ type SweepRequest struct {
 	// RNG selects the trial RNG scheme for the Monte Carlo column
 	// ("legacy" or "philox"); empty inherits the server default.
 	RNG string `json:"rng,omitempty"`
-	// HeartbeatMS overrides the server's heartbeat interval for this
-	// stream (Config.HeartbeatInterval): while no data row is ready, the
-	// stream emits `{"hb":true}` lines at this period so proxies, idle
-	// timeouts, and the coordinator's stall detector all see a live
-	// connection through slow sweep points. 0 keeps the server default.
+	// HeartbeatMS opts this stream into keep-alive rows: while no data
+	// row is ready, the stream emits `{"hb":true}` lines at this period so
+	// proxies, idle timeouts, and the coordinator's stall detector all see
+	// a live connection through slow sweep points. 0 (the default)
+	// disables heartbeats entirely — a plain sweep stream carries result
+	// and error rows only.
 	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
 }
 

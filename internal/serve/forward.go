@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// peerHeader marks a request as already peer-forwarded. A replica that
+// receives it answers locally no matter who owns the key, so a stale or
+// split fleet view degrades to one extra hop instead of a forwarding
+// loop.
+const peerHeader = "X-Gbd-Peer"
+
+// forwardSpec describes how to replay a request at the key's owning
+// replica: the standalone endpoint to POST and a lazy body renderer
+// (marshaling is deferred because most lookups never forward).
+type forwardSpec struct {
+	endpoint string
+	body     func() ([]byte, error)
+}
+
+// marshalForward builds a forwardSpec that re-marshals the decoded
+// request. Re-encoding is sound: the owner canonicalizes the body again,
+// so any JSON spelling of the same request reaches the same cache key.
+func marshalForward(endpoint string, req any) *forwardSpec {
+	return &forwardSpec{endpoint: endpoint, body: func() ([]byte, error) {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("serve: marshal forward body: %w", err)
+		}
+		return b, nil
+	}}
+}
+
+// tryForward routes a cache miss to the replica owning key. It returns
+// the owner's rendered bytes and its upstream provenance tag when the
+// forward succeeded; ok=false means the caller must compute locally —
+// sharding disabled, we own the key, the request is already a forward,
+// or the owner is unreachable (it is marked dead and the key re-routes).
+// Forward failures never surface to the client as errors: the fallback
+// is always local computation.
+func (s *Server) tryForward(r *http.Request, key string, fwd *forwardSpec) (body []byte, upstream string, ok bool) {
+	if s.peers == nil || fwd == nil || r.Header.Get(peerHeader) != "" {
+		return nil, "", false
+	}
+	// One re-route: if the first owner fails its probe, the ring without it
+	// names a successor; a second failure falls back to local compute.
+	for attempt := 0; attempt < 2; attempt++ {
+		member, url, self := s.peers.Route(key)
+		if self {
+			return nil, "", false
+		}
+		b, status, _, err := s.peerFetch(r, url, fwd)
+		if err != nil {
+			// Transport-level failure: the peer is unreachable. Open its
+			// circuit and try the re-routed owner.
+			peerForwardFails.Inc()
+			if s.peers.OnFailure(member) {
+				peerDeaths.Inc()
+			}
+			continue
+		}
+		s.peers.OnSuccess(member)
+		if status != http.StatusOK {
+			// The peer is alive but refused (shed, bad request): do not
+			// mark it dead — owner-computes is best-effort, compute here.
+			peerForwardFails.Inc()
+			return nil, "", false
+		}
+		return b, upstreamTag(url), true
+	}
+	return nil, "", false
+}
+
+// peerFetch replays the request at a peer and returns the response body,
+// status, and X-Cache provenance (batch forwarding inspects the latter
+// for per-item errors). The peer header suppresses further forwarding
+// hops.
+func (s *Server) peerFetch(r *http.Request, url string, fwd *forwardSpec) ([]byte, int, string, error) {
+	payload, err := fwd.body()
+	if err != nil {
+		return nil, 0, "", err
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+fwd.endpoint, strings.NewReader(string(payload)))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(peerHeader, "1")
+	resp, err := s.peerHC.Do(req)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return b, resp.StatusCode, resp.Header.Get("X-Cache"), nil
+}
+
+// upstreamTag compresses a peer URL into the X-Cache provenance suffix:
+// "forward-10.0.0.2:8080" rather than the full scheme-qualified URL.
+func upstreamTag(url string) string {
+	tag := strings.TrimPrefix(url, "http://")
+	tag = strings.TrimPrefix(tag, "https://")
+	return strings.TrimSuffix(tag, "/")
+}

@@ -3,11 +3,13 @@ package serve
 import "github.com/groupdetect/gbd/internal/obs"
 
 // Metric handles are resolved once at package init (DESIGN.md §9 hot-path
-// contract). The cache triple obeys hits + misses == lookups exactly: both
-// are counted under the cache lock at lookup time, so the concurrent-
-// correctness test can assert the identity under -race. dedup counts
-// requests that joined an identical in-flight computation instead of
-// recomputing (they are also cache misses — the identity still holds).
+// contract). Cache lookups obey hits + misses + forwards == lookups
+// exactly: every lookup is classified at its call site as exactly one of
+// the three via the lookup* helpers below (a forward is a local miss
+// satisfied by the key's owning replica), so the fleet-correctness tests
+// can assert the identity at quiescence. dedup counts requests that
+// joined an identical in-flight computation instead of recomputing (they
+// are also cache misses — the identity still holds).
 var (
 	serveRequests = obs.Default.Counter("serve.requests")
 	serveErrors   = obs.Default.Counter("serve.errors")
@@ -33,4 +35,19 @@ var (
 	sweepStreams    = obs.Default.Counter("serve.sweep.streams")
 	sweepRows       = obs.Default.Counter("serve.sweep.rows")
 	sweepHeartbeats = obs.Default.Counter("serve.sweep.heartbeats")
+
+	batchRequests = obs.Default.Counter("serve.batch.requests")
+	batchItems    = obs.Default.Counter("serve.batch.items")
+
+	peerForwards     = obs.Default.Counter("serve.peer.forwards")
+	peerForwardFails = obs.Default.Counter("serve.peer.forward.failures")
+	peerDeaths       = obs.Default.Counter("serve.peer.deaths")
 )
+
+// lookupHit / lookupMiss / lookupForward classify one cache lookup.
+// Every get/getBytes call must be followed by exactly one of these, which
+// is what keeps hits + misses + forwards == lookups an identity rather
+// than an approximation.
+func lookupHit()     { cacheLookups.Inc(); cacheHits.Inc() }
+func lookupMiss()    { cacheLookups.Inc(); cacheMisses.Inc() }
+func lookupForward() { cacheLookups.Inc(); peerForwards.Inc() }

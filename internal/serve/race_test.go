@@ -93,6 +93,7 @@ func TestConcurrentBitIdentical(t *testing.T) {
 	lookups0 := cacheLookups.Value()
 	hits0 := cacheHits.Value()
 	misses0 := cacheMisses.Value()
+	fwd0 := peerForwards.Value()
 
 	const total = 96 // 64+ overlapping requests, interleaving both endpoints
 	var wg sync.WaitGroup
@@ -140,8 +141,12 @@ func TestConcurrentBitIdentical(t *testing.T) {
 	lookups := cacheLookups.Value() - lookups0
 	hits := cacheHits.Value() - hits0
 	misses := cacheMisses.Value() - misses0
-	if hits+misses != lookups {
-		t.Errorf("cache accounting broken: hits %d + misses %d != lookups %d", hits, misses, lookups)
+	forwards := peerForwards.Value() - fwd0
+	if hits+misses+forwards != lookups {
+		t.Errorf("cache accounting broken: hits %d + misses %d + forwards %d != lookups %d", hits, misses, forwards, lookups)
+	}
+	if forwards != 0 {
+		t.Errorf("unsharded server forwarded %d lookups", forwards)
 	}
 	if lookups == 0 || hits == 0 {
 		t.Errorf("expected both hits and misses under this load: lookups=%d hits=%d", lookups, hits)

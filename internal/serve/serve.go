@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	gbd "github.com/groupdetect/gbd"
@@ -44,6 +45,7 @@ import (
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/obs"
+	"github.com/groupdetect/gbd/internal/peer"
 	"github.com/groupdetect/gbd/internal/sim"
 )
 
@@ -75,16 +77,36 @@ type Config struct {
 	Retries      int
 	RetryBackoff time.Duration
 	PointTimeout time.Duration
-	// HeartbeatInterval is the default period between `{"hb":true}`
-	// keep-alive rows on /v1/sweep streams while no data row is ready
-	// (default 5s; negative disables heartbeats). SweepRequest.HeartbeatMS
-	// overrides it per stream.
-	HeartbeatInterval time.Duration
 	// RNG is the default trial RNG scheme for requests that omit "rng"
 	// (zero value: the legacy per-trial reseed scheme). The scheme is
 	// part of every cache identity, so flipping the default cannot serve
 	// results computed under the other scheme.
 	RNG field.RNGScheme
+	// MaxBatchItems bounds /v1/batch item lists (default 256).
+	MaxBatchItems int
+
+	// Peers is the fleet view for consistent-hash cache sharding: the
+	// base URLs of every replica, this one included, identical on every
+	// replica (same strings — the ring is a pure function of this list).
+	// Fewer than two peers disables sharding. Self must then name this
+	// replica's own entry verbatim; validate with Config.ValidatePeers
+	// before New, which silently disables sharding on a bad fleet view.
+	Peers []string
+	Self  string
+	// PeerCooldown is how long a peer marked dead stays out of the ring
+	// before a single re-admission probe (default 2s).
+	PeerCooldown time.Duration
+}
+
+// ValidatePeers checks the fleet-view configuration: with sharding
+// enabled (two or more peers), the list must be duplicate-free and Self
+// must appear in it verbatim.
+func (c Config) ValidatePeers() error {
+	if len(c.Peers) < 2 {
+		return nil
+	}
+	_, err := peer.NewPicker(c.Peers, c.Self, peer.Options{})
+	return err
 }
 
 func (c Config) withDefaults() Config {
@@ -115,8 +137,11 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 100 * time.Millisecond
 	}
-	if c.HeartbeatInterval == 0 {
-		c.HeartbeatInterval = 5 * time.Second
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.PeerCooldown <= 0 {
+		c.PeerCooldown = 2 * time.Second
 	}
 	return c
 }
@@ -130,6 +155,11 @@ type Server struct {
 	adm    *admission
 	mux    *http.ServeMux
 	start  time.Time
+	// peers is the consistent-hash fleet view; nil when sharding is
+	// disabled (fewer than two peers, or an invalid fleet view — callers
+	// surface the latter via Config.ValidatePeers before New).
+	peers  *peer.Picker
+	peerHC *http.Client
 }
 
 // New builds a Server with the given configuration.
@@ -142,6 +172,12 @@ func New(cfg Config) *Server {
 		adm:    newAdmission(cfg.Workers, cfg.QueueDepth),
 		start:  time.Now(),
 	}
+	if len(cfg.Peers) >= 2 {
+		if pk, err := peer.NewPicker(cfg.Peers, cfg.Self, peer.Options{Cooldown: cfg.PeerCooldown}); err == nil {
+			s.peers = pk
+			s.peerHC = &http.Client{Timeout: cfg.RequestTimeout}
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -150,6 +186,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/latency", s.handleLatency)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux = mux
 	return s
@@ -173,28 +210,46 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
-// writeError renders an error as a JSON body with the mapped status:
-// request/parameter problems are 400, queue overflow 429, deadline or
-// cancellation 503, everything else 500.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	serveErrors.Inc()
-	code := http.StatusInternalServerError
+// errorStatus maps an error to its HTTP status: request/parameter
+// problems are 400, queue overflow 429, deadline or cancellation 503,
+// everything else 500.
+func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		code = http.StatusTooManyRequests
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		code = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrRequest),
 		errors.Is(err, detect.ErrParams),
 		errors.Is(err, sim.ErrConfig),
 		errors.Is(err, experiments.ErrExperiment),
 		errors.Is(err, netsim.ErrNetwork):
-		code = http.StatusBadRequest
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// errorBody renders the JSON error line — the same bytes whether the
+// error is a whole response (writeError) or one item of a /v1/batch
+// stream.
+func errorBody(err error) []byte {
+	resp, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return append(resp, '\n')
+}
+
+// writeError renders an error response. Shed requests (429 overflow, 503
+// queued-deadline) carry a Retry-After header derived from the live
+// queue depth so clients — gbd-loadgen, the fabric coordinator — back
+// off for roughly one queue drain instead of hot-looping.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	serveErrors.Inc()
+	code := errorStatus(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	resp, _ := json.Marshal(map[string]string{"error": err.Error()})
-	w.Write(append(resp, '\n'))
+	w.Write(errorBody(err))
 }
 
 // writeBody writes a rendered JSON response with its cache provenance
@@ -210,25 +265,41 @@ func writeBody(w http.ResponseWriter, source string, body []byte) {
 // marshaled once; the bytes are cached and every hit or follower receives
 // exactly those bytes, so identical requests are bit-identical responses
 // by construction.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
-	s.serveKeyed(w, r, key, "", compute)
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, fwd *forwardSpec, compute func(ctx context.Context) (any, error)) {
+	s.serveKeyed(w, r, key, "", fwd, compute)
 }
 
 // serveKeyed is serveCached with an optional second cache key: rawKey,
-// when non-empty, is the digest of the exact request bytes, and the
-// rendered body is stored under it too so the next byte-identical
-// request short-circuits in the handler before any JSON decoding or
-// canonicalization (the near-zero-alloc hit path). Storing the raw
-// alias is sound because identical raw bytes always canonicalize to the
-// same key, hence the same body.
-func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key, rawKey string, compute func(ctx context.Context) (any, error)) {
+// when non-empty, is the digest of the exact request bytes, attached to
+// the canonical entry as an alias so the next byte-identical request
+// short-circuits in the handler before any JSON decoding or
+// canonicalization (the near-zero-alloc hit path). The alias is sound
+// because identical raw bytes always canonicalize to the same key, hence
+// the same body; it shares the entry's LRU slot rather than holding one
+// of its own.
+//
+// With fleet sharding enabled, a local miss on a key owned by another
+// replica is forwarded there (forward.go) instead of computed; the
+// owner's singleflight is the fleet-wide dedup point, so no key is
+// computed by more than one replica.
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key, rawKey string, fwd *forwardSpec, compute func(ctx context.Context) (any, error)) {
 	if body, ok := s.cache.get(key); ok {
-		if rawKey != "" {
-			s.cache.add(rawKey, body)
-		}
+		lookupHit()
+		s.cache.attachAlias(key, rawKey)
 		writeBody(w, "hit", body)
 		return
 	}
+	if body, upstream, ok := s.tryForward(r, key, fwd); ok {
+		lookupForward()
+		// Byte replication is fine — only computation must be single-
+		// owner — and caching the forwarded bytes locally means repeat
+		// traffic for this key is a local hit on every replica.
+		s.cache.add(key, body)
+		s.cache.attachAlias(key, rawKey)
+		writeBody(w, "forward-"+upstream, body)
+		return
+	}
+	lookupMiss()
 	body, err, shared := s.flight.do(key, func() ([]byte, error) {
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
@@ -237,20 +308,7 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key, rawKey 
 			return nil, err
 		}
 		defer release()
-		v, err := compute(ctx)
-		if err != nil {
-			return nil, err
-		}
-		body, err := json.Marshal(v)
-		if err != nil {
-			return nil, fmt.Errorf("serve: marshal response: %w", err)
-		}
-		body = append(body, '\n')
-		s.cache.add(key, body)
-		if rawKey != "" {
-			s.cache.add(rawKey, body)
-		}
-		return body, nil
+		return s.renderCompute(ctx, key, rawKey, compute)
 	})
 	if err != nil {
 		s.writeError(w, err)
@@ -261,6 +319,25 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key, rawKey 
 		source = "dedup"
 	}
 	writeBody(w, source, body)
+}
+
+// renderCompute runs compute, marshals its result into the final
+// response bytes (one JSON line), and populates the cache. It is the
+// single render point shared by the standalone handlers and /v1/batch,
+// which is what makes their bytes bit-identical by construction.
+func (s *Server) renderCompute(ctx context.Context, key, rawKey string, compute func(ctx context.Context) (any, error)) ([]byte, error) {
+	v, err := compute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal response: %w", err)
+	}
+	body = append(body, '\n')
+	s.cache.add(key, body)
+	s.cache.attachAlias(key, rawKey)
+	return body, nil
 }
 
 // ---- /healthz and /metrics ----
@@ -383,9 +460,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	digest := sha256.Sum256(raw)
 	if body, ok := s.cache.getBytes(digest[:]); ok {
+		lookupHit()
 		writeBody(w, "hit", body)
 		return
 	}
+	lookupMiss()
 	var req AnalyzeRequest
 	if err := decodeBytes(raw[len(endpoint):], &req); err != nil {
 		s.writeError(w, err)
@@ -396,7 +475,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.serveKeyed(w, r, key, string(digest[:]), func(ctx context.Context) (any, error) {
+	// The raw bytes outlive this call (the pooled scratch is released on
+	// handler return, after serveKeyed finishes), so the forward spec can
+	// reuse them verbatim.
+	fwd := &forwardSpec{endpoint: endpoint, body: func() ([]byte, error) {
+		return raw[len(endpoint):], nil
+	}}
+	s.serveKeyed(w, r, key, string(digest[:]), fwd, func(ctx context.Context) (any, error) {
 		return s.computeAnalyze(ctx, p, req)
 	})
 }
@@ -486,17 +571,13 @@ func (s *Server) computeDesign(ctx context.Context, p detect.Params, req DesignR
 	}, nil
 }
 
-func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
-	var req DesignRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
-		return
-	}
+// designKey resolves a DesignRequest's defaults (mutating it) and
+// returns its scenario parameters and cache key.
+func (s *Server) designKey(req *DesignRequest) (detect.Params, string, error) {
 	req.withDefaults()
 	p, err := req.Scenario.params()
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return p, "", err
 	}
 	canon := designCanonical{
 		Scenario:    echoParams(p),
@@ -508,11 +589,21 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	}
 	canon.Scenario.N, canon.Scenario.K = 0, 0 // outputs, not identity
 	key, err := cacheKey("/v1/design", canon, 0)
+	return p, key, err
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	var req DesignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, key, err := s.designKey(&req)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, key, marshalForward("/v1/design", req), func(ctx context.Context) (any, error) {
 		return s.computeDesign(ctx, p, req)
 	})
 }
@@ -547,23 +638,29 @@ func (s *Server) computeLatency(ctx context.Context, p detect.Params, req Latenc
 	}, nil
 }
 
+// latencyKey canonicalizes a LatencyRequest into its resolved parameters
+// and cache key.
+func (s *Server) latencyKey(req LatencyRequest) (detect.Params, string, error) {
+	p, err := req.Scenario.params()
+	if err != nil {
+		return p, "", err
+	}
+	key, err := cacheKey("/v1/latency", latencyCanonical{Scenario: echoParams(p), Options: req.Options}, 0)
+	return p, key, err
+}
+
 func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 	var req LatencyRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	p, err := req.Scenario.params()
+	p, key, err := s.latencyKey(req)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	key, err := cacheKey("/v1/latency", latencyCanonical{Scenario: echoParams(p), Options: req.Options}, 0)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, key, marshalForward("/v1/latency", req), func(ctx context.Context) (any, error) {
 		return s.computeLatency(ctx, p, req)
 	})
 }
@@ -679,25 +776,21 @@ func (s *Server) computeSimulate(ctx context.Context, p detect.Params, req Simul
 	return resp, nil
 }
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req SimulateRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, err)
-		return
-	}
+// simulateKey validates a SimulateRequest and returns its resolved
+// parameters and cache key. Seed participates through the fingerprint's
+// seed slot: campaigns are deterministic per (config, seed), so caching
+// them is sound.
+func (s *Server) simulateKey(req SimulateRequest) (detect.Params, string, error) {
 	p, err := req.Scenario.params()
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return p, "", err
 	}
 	if _, err := s.simConfig(p, req); err != nil {
-		s.writeError(w, err)
-		return
+		return p, "", err
 	}
 	scheme, err := s.resolveRNG(req.RNG)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return p, "", err
 	}
 	canon := simulateCanonical{
 		Scenario: echoParams(p), Trials: req.Trials,
@@ -705,14 +798,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		PerHopLoss: req.PerHopLoss, HopRetries: req.HopRetries,
 		RNG: canonRNG(scheme),
 	}
-	// Seed participates through the fingerprint's seed slot: campaigns
-	// are deterministic per (config, seed), so caching them is sound.
 	key, err := cacheKey("/v1/simulate", canon, req.Seed)
+	return p, key, err
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, key, err := s.simulateKey(req)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+	s.serveCached(w, r, key, marshalForward("/v1/simulate", req), func(ctx context.Context) (any, error) {
 		return s.computeSimulate(ctx, p, req)
 	})
 }
@@ -765,7 +866,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+	// Experiments are GET-with-query (no JSON body to replay), so they are
+	// never peer-forwarded — each replica computes them locally.
+	s.serveCached(w, r, key, nil, func(ctx context.Context) (any, error) {
 		tbl, err := experiments.RunOne(id, experiments.Options{
 			Trials:       trials,
 			Seed:         seed,

@@ -387,6 +387,37 @@ func TestSweepHeartbeat(t *testing.T) {
 	}
 }
 
+func TestSweepHeartbeatOptIn(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	// Heartbeats are opt-in: a plain sweep (no heartbeat_ms) must stream
+	// result/error rows only, even when points are slow enough that an
+	// always-on keep-alive would have fired many times. A naive NDJSON
+	// consumer can therefore parse every line as a SweepRow.
+	code, _, body := post(t, ts, "/v1/sweep",
+		`{"scenario":{},"axis":"n","values":[100,120],"trials":20000,"seed":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	lines := 0
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines++
+		if isHeartbeatLine(line) {
+			t.Fatalf("heartbeat row leaked into a plain sweep stream: %s", line)
+		}
+		var row SweepRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatalf("line %q is not a SweepRow: %v", line, err)
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("plain stream has %d lines, want exactly one row per value (2):\n%s", lines, body)
+	}
+}
+
 // isHeartbeatLine reports whether an NDJSON line is a keep-alive row.
 func isHeartbeatLine(line []byte) bool {
 	var hb Heartbeat

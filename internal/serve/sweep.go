@@ -69,13 +69,15 @@ func (s *Server) validateSweep(req SweepRequest) error {
 	return nil
 }
 
-// heartbeatInterval resolves the stream's keep-alive period: the request
-// override when set, the server default otherwise; <= 0 disables.
-func (s *Server) heartbeatInterval(req SweepRequest) time.Duration {
+// heartbeatInterval resolves the stream's keep-alive period. Heartbeats
+// are strictly opt-in: a stream emits `{"hb":true}` rows only when the
+// request set heartbeat_ms, so a plain sweep stream carries result and
+// error rows exclusively and naive consumers need no filtering.
+func heartbeatInterval(req SweepRequest) time.Duration {
 	if req.HeartbeatMS > 0 {
 		return time.Duration(req.HeartbeatMS) * time.Millisecond
 	}
-	return s.cfg.HeartbeatInterval
+	return 0
 }
 
 // sweepPolicy resolves the request's fault policy against the server
@@ -245,7 +247,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	hbLine, _ := json.Marshal(Heartbeat{HB: true})
 	hbLine = append(hbLine, '\n')
 	var hbC <-chan time.Time
-	if d := s.heartbeatInterval(req); d > 0 {
+	if d := heartbeatInterval(req); d > 0 {
 		ticker := time.NewTicker(d)
 		defer ticker.Stop()
 		hbC = ticker.C
