@@ -22,6 +22,9 @@
 //	gbd-faults -loss-sweep -comm-range 6000       # per-hop loss degradation
 //	gbd-faults -hazard 0.05                       # battery hazard scenario
 //	gbd-faults -blob-radius 12000                 # correlated blob failure
+//	gbd-faults -infer -p-deliver 0.9              # closed-loop failure inference
+//	gbd-faults -infer -max-dead 0.2 -dead-steps 1 \
+//	    -min-precision 0.9 -min-recall 0.9        # CI accuracy gate
 //	gbd-faults -checkpoint run.ckpt -resume       # continue an interrupted sweep
 package main
 
@@ -83,6 +86,11 @@ func run(args []string, w io.Writer) (err error) {
 		deadSteps = fs.Int("dead-steps", 10, "number of sweep increments")
 		hazard    = fs.Float64("hazard", 0, "per-period battery death hazard (single scenario)")
 		blob      = fs.Float64("blob-radius", 0, "correlated blob failure radius in m (single scenario)")
+
+		inferMode    = fs.Bool("infer", false, "closed-loop mode: run the failure inferencer over the report stream at each dead fraction and score it against ground truth")
+		pDeliver     = fs.Float64("p-deliver", 0.9, "flat uplink delivery probability for -infer (each beacon/report independently reaches the base)")
+		minPrecision = fs.Float64("min-precision", 0, "with -infer, exit nonzero if the final row's precision falls below this")
+		minRecall    = fs.Float64("min-recall", 0, "with -infer, exit nonzero if the final row's recall falls below this")
 
 		lossSweep  = fs.Bool("loss-sweep", false, "sweep per-hop loss instead of dead fraction")
 		maxLoss    = fs.Float64("max-loss", 0.5, "largest per-hop loss rate in the sweep")
@@ -179,6 +187,10 @@ func run(args []string, w io.Writer) (err error) {
 		if scheme != gbd.SchemeLegacy {
 			rngID = scheme.String()
 		}
+		inferPD := 0.0
+		if *inferMode {
+			inferPD = *pDeliver
+		}
 		fp, err := checkpoint.Fingerprint("gbd-faults", struct {
 			Params    gbd.Params
 			Trials    int
@@ -191,7 +203,11 @@ func run(args []string, w io.Writer) (err error) {
 			// RNG changes every simulated value; omitempty keeps legacy
 			// checkpoints from before the scheme flag resumable.
 			RNG string `json:",omitempty"`
-		}{p, *trials, *maxDead, *deadSteps, *lossSweep, *maxLoss, *commRange, loss, rngID}, *seed)
+			// Infer/InferPDeliver identify the closed-loop mode; omitempty
+			// keeps pre-inference checkpoints resumable.
+			Infer         bool    `json:",omitempty"`
+			InferPDeliver float64 `json:",omitempty"`
+		}{p, *trials, *maxDead, *deadSteps, *lossSweep, *maxLoss, *commRange, loss, rngID, *inferMode, inferPD}, *seed)
 		if err != nil {
 			return err
 		}
@@ -221,6 +237,8 @@ func run(args []string, w io.Writer) (err error) {
 	case *blob > 0:
 		return runScenario(ctx, w, base, faults.Blob{Radius: *blob},
 			fmt.Sprintf("correlated blob failure, radius %.0f m", *blob))
+	case *inferMode:
+		return runInferSweep(env, w, base, *pDeliver, *maxDead, *deadSteps, *minPrecision, *minRecall)
 	case *lossSweep:
 		return runLossSweep(env, w, base, loss, *commRange, *maxLoss, *deadSteps)
 	default:
@@ -424,6 +442,112 @@ func runLossSweep(env sweepEnv, w io.Writer, base gbd.SimConfig, loss netsim.Los
 	fmt.Fprintf(w, "max |analysis - sim| = %.4f (analysis uses measured arrived_frac)\n", maxDiff)
 	if failed > 0 {
 		fmt.Fprintf(w, "WARNING: %d of %d points failed and were skipped (-keep-going)\n", failed, len(points))
+	}
+	return nil
+}
+
+// inferPoint is one row of the closed-loop inference sweep. Fields are
+// exported so the point survives a checkpoint JSON round-trip.
+type inferPoint struct {
+	Precision, Recall, MeanTTD       float64
+	InferredFrac, PDeliverHat        float64
+	TruthProb, InferredProb, AbsDiff float64
+}
+
+// runInferSweep runs the closed-loop mode: at each dead fraction the
+// simulator streams per-period reports (plus liveness beacons) through the
+// failure inferencer, scores the inferred dead mask against ground truth,
+// and feeds the inferred knobs back through the degradation analysis next
+// to the truth-driven curve. With -min-precision/-min-recall the final row
+// acts as a CI accuracy gate.
+func runInferSweep(env sweepEnv, w io.Writer, base gbd.SimConfig, pDeliver, maxDead float64, steps int, minPrecision, minRecall float64) error {
+	if steps < 1 {
+		return fmt.Errorf("dead-steps = %d must be >= 1", steps)
+	}
+	if maxDead < 0 || maxDead > 1 || math.IsNaN(maxDead) {
+		return fmt.Errorf("max-dead = %v must be in [0, 1]", maxDead)
+	}
+	if pDeliver <= 0 || pDeliver > 1 || math.IsNaN(pDeliver) {
+		return fmt.Errorf("p-deliver = %v must be in (0, 1]", pDeliver)
+	}
+	fmt.Fprintf(w, "closed-loop inference: Bernoulli node death, uplink delivery %.2f, %d trials/point\n",
+		pDeliver, base.Trials)
+	fmt.Fprintf(w, "%-10s  %-9s  %-7s  %-8s  %-13s  %-10s  %-10s  %-9s  %-7s\n",
+		"dead_frac", "precision", "recall", "mean_ttd", "inferred_frac", "p_del_hat", "truth_prob", "inf_prob", "gap")
+	fracs := make([]float64, steps+1)
+	for i := range fracs {
+		fracs[i] = maxDead * float64(i) / float64(steps)
+	}
+	points, done, err := resilientSweep(env, "infer", fracs, func(ctx context.Context, _ int, f float64) (inferPoint, error) {
+		cfg := base
+		cfg.PDeliver = pDeliver
+		cfg.Beacons = true
+		cfg.Infer = &gbd.InferOptions{}
+		if f > 0 {
+			cfg.Faults = faults.Bernoulli{DeadFrac: f}
+		}
+		res, err := gbd.SimulateCtx(ctx, cfg)
+		if err != nil {
+			return inferPoint{}, err
+		}
+		st := res.Infer
+		pair, err := gbd.ClosedLoopPoint(base.Params, st.TruthDeadFrac(), st.InferredDeadFrac(),
+			pDeliver, st.PDeliverObserved(), detect.MSOptions{})
+		if err != nil {
+			return inferPoint{}, err
+		}
+		return inferPoint{
+			Precision:    st.Precision(),
+			Recall:       st.Recall(),
+			MeanTTD:      st.MeanTimeToDetect(),
+			InferredFrac: st.InferredDeadFrac(),
+			PDeliverHat:  st.PDeliverObserved(),
+			TruthProb:    pair.TruthProb,
+			InferredProb: pair.InferredProb,
+			AbsDiff:      pair.AbsDiff(),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	maxGap := 0.0
+	failed, lastDone := 0, -1
+	for i, pt := range points {
+		if !done[i] {
+			fmt.Fprintf(w, "%-10.2f  %-9s  %-7s  %-8s  %-13s  %-10s  %-10s  %-9s  %-7s\n",
+				fracs[i], "failed", "-", "-", "-", "-", "-", "-", "-")
+			failed++
+			continue
+		}
+		lastDone = i
+		if pt.AbsDiff > maxGap {
+			maxGap = pt.AbsDiff
+		}
+		fmt.Fprintf(w, "%-10.2f  %-9.4f  %-7.4f  %-8.2f  %-13.4f  %-10.4f  %-10.4f  %-9.4f  %-7.4f\n",
+			fracs[i], pt.Precision, pt.Recall, pt.MeanTTD, pt.InferredFrac,
+			pt.PDeliverHat, pt.TruthProb, pt.InferredProb, pt.AbsDiff)
+	}
+	fmt.Fprintf(w, "max |truth - inferred| detection gap = %.4f\n", maxGap)
+	if failed > 0 {
+		fmt.Fprintf(w, "WARNING: %d of %d points failed and were skipped (-keep-going)\n", failed, len(points))
+	}
+	// Accuracy gate: judged on the final completed row — the largest dead
+	// fraction, where both precision and recall are meaningful. (At tiny
+	// dead fractions precision is dominated by the handful of tail false
+	// alarms; gating there would measure the prior, not the inferencer.)
+	if minPrecision > 0 || minRecall > 0 {
+		if lastDone < 0 {
+			return fmt.Errorf("accuracy gate: no completed points to judge")
+		}
+		final := points[lastDone]
+		fmt.Fprintf(w, "accuracy gate @ dead_frac %.2f: precision %.4f (min %.2f), recall %.4f (min %.2f)\n",
+			fracs[lastDone], final.Precision, minPrecision, final.Recall, minRecall)
+		if final.Precision < minPrecision {
+			return fmt.Errorf("inference precision %.4f below gate %.2f", final.Precision, minPrecision)
+		}
+		if final.Recall < minRecall {
+			return fmt.Errorf("inference recall %.4f below gate %.2f", final.Recall, minRecall)
+		}
 	}
 	return nil
 }

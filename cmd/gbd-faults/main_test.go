@@ -54,6 +54,40 @@ func TestScenarioOutput(t *testing.T) {
 	}
 }
 
+func TestInferSweepOutput(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-trials", "150", "-infer", "-max-dead", "0.2", "-dead-steps", "1",
+		"-min-precision", "0.9", "-min-recall", "0.9"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"closed-loop inference", "precision", "recall", "mean_ttd", "p_del_hat",
+		"max |truth - inferred| detection gap", "accuracy gate @ dead_frac 0.20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Title + header + 2 sweep rows + gap summary + gate line.
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 6 {
+		t.Errorf("line count = %d, want 6:\n%s", lines, out)
+	}
+}
+
+func TestInferSweepGateFails(t *testing.T) {
+	// An impossible precision bar must surface as a nonzero-exit error so
+	// CI can gate on inference accuracy.
+	var sb strings.Builder
+	args := []string{"-trials", "100", "-infer", "-max-dead", "0.2", "-dead-steps", "1",
+		"-min-precision", "1.01"}
+	err := run(args, &sb)
+	if err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Fatalf("err = %v, want precision gate failure", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-trials", "0"},
@@ -66,6 +100,9 @@ func TestRunErrors(t *testing.T) {
 		{"-retries", "-1", "-loss-sweep"},
 		{"-point-retries", "-1"},
 		{"-hop-retries", "-1", "-loss-sweep"},
+		{"-infer", "-p-deliver", "0"},
+		{"-infer", "-p-deliver", "1.5"},
+		{"-infer", "-dead-steps", "0"},
 	}
 	for _, args := range cases {
 		var sb strings.Builder

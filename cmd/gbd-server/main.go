@@ -9,6 +9,9 @@
 //	POST /v1/latency              analytical detection-latency CDF
 //	POST /v1/simulate             bounded Monte Carlo campaign with
 //	                              optional fault injection
+//	POST /v1/infer                closed-loop failure inference: score
+//	                              the SPRT dead-sensor inferencer and
+//	                              its degradation estimate vs truth
 //	POST /v1/sweep                parameter sweep streamed as NDJSON
 //	POST /v1/batch                many operations in one request, one
 //	                              NDJSON line per item in input order
@@ -84,11 +87,16 @@ func run(args []string, w io.Writer) (err error) {
 		pointTimeout = fs.Duration("point-timeout", 0, "deadline per sweep-point attempt (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		rngName      = fs.String("rng", "", "default trial RNG scheme for requests without \"rng\": legacy (default) or philox")
-		maxBatch     = fs.Int("max-batch-items", 256, "largest accepted /v1/batch item list")
 		peersFlag    = fs.String("peers", "", "comma-separated fleet view for consistent-hash cache sharding: every replica's base URL (http://host:port), identical on every replica; empty disables sharding")
 		selfFlag     = fs.String("self", "", "this replica's own entry in -peers, verbatim (required with -peers)")
 		peerCooldown = fs.Duration("peer-cooldown", 2*time.Second, "how long a dead peer stays out of the ring before a re-admission probe")
+		peerTimeout  = fs.Duration("peer-timeout", 2*time.Second, "per-forward round-trip deadline; a stalled owner trips its breaker and the request computes locally")
 	)
+	// /v1/batch item-count cap; -max-batch-items is the original spelling
+	// of the same knob, kept as an alias.
+	var maxBatch int
+	fs.IntVar(&maxBatch, "batch-max-items", 1024, "largest accepted /v1/batch item list; overflow is rejected with 413 (alias: -max-batch-items)")
+	fs.IntVar(&maxBatch, "max-batch-items", 1024, "alias for -batch-max-items")
 	// The sweep fault policy flag answers to both spellings of the shared
 	// vocabulary: -point-retries (gbd-faults) and -retries
 	// (gbd-experiments) set the same value.
@@ -136,8 +144,9 @@ func run(args []string, w io.Writer) (err error) {
 		RetryBackoff:   *retryBackoff,
 		PointTimeout:   *pointTimeout,
 		RNG:            scheme,
-		MaxBatchItems:  *maxBatch,
+		MaxBatchItems:  maxBatch,
 		PeerCooldown:   *peerCooldown,
+		PeerTimeout:    *peerTimeout,
 	}
 	if *peersFlag != "" {
 		cfg.Peers = strings.Split(*peersFlag, ",")

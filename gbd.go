@@ -45,6 +45,7 @@ import (
 	"github.com/groupdetect/gbd/internal/dist"
 	"github.com/groupdetect/gbd/internal/falsealarm"
 	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/infer"
 	"github.com/groupdetect/gbd/internal/sim"
 )
 
@@ -92,6 +93,32 @@ type SimResult = sim.Result
 
 // TrialResult is a fully detailed single simulation trial.
 type TrialResult = sim.TrialResult
+
+// InferOptions tunes the closed-loop failure inferencer (SimConfig.Infer):
+// a per-sensor sequential probability ratio test over the report stream
+// that declares a sensor dead only when its silence is statistically
+// inconsistent with the delivery rate the link layer is observing. The
+// zero value uses alpha = beta = 0.01 and resolves the per-period report
+// probability from the scenario (1 with SimConfig.Beacons, the paper's
+// p_indi otherwise).
+type InferOptions = infer.Options
+
+// InferStats scores the failure inferencer against the injected ground
+// truth (SimResult.Infer): final and per-period confusion, declaration
+// and retraction counts, time-to-detect, and the link telemetry the
+// engine observed.
+type InferStats = sim.InferStats
+
+// InferConfusion is a dead-vs-alive confusion matrix with "declared
+// dead" as the positive class.
+type InferConfusion = infer.Confusion
+
+// ClosedLoopPoint feeds a truth/inference knob pair through the same
+// analytical degradation model, pairing the omniscient detection
+// probability with the inference-driven one (infer.DegradationPair).
+func ClosedLoopPoint(p Params, truthFrac, inferredFrac, pDeliver, pDeliverHat float64, opt MSOptions) (infer.DegradationPair, error) {
+	return infer.ClosedLoopPoint(p, truthFrac, inferredFrac, pDeliver, pDeliverHat, opt)
+}
 
 // Confinement selects the simulator's field-border policy.
 type Confinement = sim.Confinement

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestInferenceAccuracyTable(t *testing.T) {
+	tbl, err := InferenceAccuracy(Options{Quick: true, Trials: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "inference" {
+		t.Errorf("ID = %q", tbl.ID)
+	}
+	if len(tbl.Rows) != len(deadFracSweep(true)) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(deadFracSweep(true)))
+	}
+	// Column layout: dead_frac precision recall mean_ttd inferred_frac
+	// truth_prob inferred_prob gap. On every row with injected death the
+	// recall must clear the CI gate, and the closed-loop gap must stay
+	// inside the documented tolerance.
+	for i, row := range tbl.Rows {
+		deadFrac, _ := strconv.ParseFloat(row[0], 64)
+		recall, _ := strconv.ParseFloat(row[2], 64)
+		gap, _ := strconv.ParseFloat(row[7], 64)
+		if deadFrac > 0 && recall < 0.9 {
+			t.Errorf("row %d (dead_frac %s): recall %s < 0.9", i, row[0], row[2])
+		}
+		if gap > 0.05 {
+			t.Errorf("row %d (dead_frac %s): closed-loop gap %s > 0.05", i, row[0], row[7])
+		}
+	}
+	// Precision on rows with real deaths (the canonical regime).
+	for i, row := range tbl.Rows {
+		deadFrac, _ := strconv.ParseFloat(row[0], 64)
+		precision, _ := strconv.ParseFloat(row[1], 64)
+		if deadFrac >= 0.2 && precision < 0.9 {
+			t.Errorf("row %d (dead_frac %s): precision %s < 0.9", i, row[0], row[1])
+		}
+	}
+}

@@ -29,6 +29,7 @@ func Runners() []Runner {
 		{"sensitivity", Sensitivities},
 		{"degradation", Degradation},
 		{"lossdeg", LossDegradation},
+		{"inference", InferenceAccuracy},
 	}
 }
 

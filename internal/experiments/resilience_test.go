@@ -149,7 +149,7 @@ func TestRunnersCoverEveryExperiment(t *testing.T) {
 	want := []string{
 		"fig8", "fig9a", "fig9b", "fig9c", "timing", "extension", "kmin",
 		"boundary", "comm", "latency", "tapproach", "coverage", "endtoend",
-		"sensitivity", "degradation", "lossdeg",
+		"sensitivity", "degradation", "lossdeg", "inference",
 	}
 	rs := Runners()
 	if len(rs) != len(want) {

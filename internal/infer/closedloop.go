@@ -1,0 +1,64 @@
+package infer
+
+import (
+	"fmt"
+
+	"github.com/groupdetect/gbd/internal/detect"
+)
+
+// This file closes the loop: the engine's inferred dead fraction and
+// delivery estimate are fed through the SAME analytical degradation
+// model (detect.Degraded) that the ground-truth knobs feed, so every
+// point pairs "what the network would predict if it believed the
+// inferencer" with "what the omniscient analysis predicts". The gap
+// between the two columns is the price of having to infer failures from
+// the report stream instead of being told.
+
+// DegradationPair is one closed-loop point: the truth-driven and
+// inference-driven effective scenarios analyzed side by side.
+type DegradationPair struct {
+	// TruthDeadFrac/PDeliver are the injected ground-truth knobs;
+	// InferredDeadFrac/PDeliverHat are the engine's estimates of them.
+	TruthDeadFrac, PDeliver       float64
+	InferredDeadFrac, PDeliverHat float64
+	// TruthProb and InferredProb are the analytical system detection
+	// probabilities under each pair of knobs.
+	TruthProb, InferredProb float64
+}
+
+// AbsDiff is |InferredProb - TruthProb|: how far the inference-driven
+// prediction strays from the omniscient one.
+func (d DegradationPair) AbsDiff() float64 {
+	diff := d.InferredProb - d.TruthProb
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff
+}
+
+// ClosedLoopPoint analyzes one truth/inference pair. pDeliverHat is
+// clamped into [0, 1] (the regularized estimate can sit a hair above the
+// true rate without invalidating the analysis).
+func ClosedLoopPoint(p detect.Params, truthFrac, inferredFrac, pDeliver, pDeliverHat float64, opt detect.MSOptions) (DegradationPair, error) {
+	pair := DegradationPair{
+		TruthDeadFrac: truthFrac, PDeliver: pDeliver,
+		InferredDeadFrac: inferredFrac, PDeliverHat: pDeliverHat,
+	}
+	if pair.PDeliverHat > 1 {
+		pair.PDeliverHat = 1
+	}
+	if pair.PDeliverHat < 0 {
+		pair.PDeliverHat = 0
+	}
+	truth, err := detect.Degraded(p, truthFrac, pDeliver, opt)
+	if err != nil {
+		return pair, fmt.Errorf("truth point: %w", err)
+	}
+	inferred, err := detect.Degraded(p, inferredFrac, pair.PDeliverHat, opt)
+	if err != nil {
+		return pair, fmt.Errorf("inferred point: %w", err)
+	}
+	pair.TruthProb = truth.DetectionProb
+	pair.InferredProb = inferred.DetectionProb
+	return pair, nil
+}

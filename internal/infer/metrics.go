@@ -1,0 +1,25 @@
+package infer
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// Metric handles are resolved once at package init, like every other
+// instrumented package: declarations and retractions tick as the SPRT
+// crosses (or un-crosses) its threshold, false alarms tick when a
+// campaign's final score is taken against ground truth, so the /metrics
+// snapshot shows how busy — and how wrong — the inferencer has been.
+var (
+	engines      = obs.Default.Counter("infer.engines")
+	declarations = obs.Default.Counter("infer.declarations")
+	retractions  = obs.Default.Counter("infer.retractions")
+	falseAlarms  = obs.Default.Counter("infer.false_alarms")
+)
+
+// CountFalseAlarms ticks the false-alarm counter by n; the simulator
+// calls it once per trial with the final mask's FP count rather than per
+// period, so the counter reads as "live sensors wrongly declared dead at
+// the end of a mission".
+func CountFalseAlarms(n int) {
+	if n > 0 {
+		falseAlarms.Add(uint64(n))
+	}
+}

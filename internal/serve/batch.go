@@ -145,6 +145,16 @@ func (s *Server) planItem(it BatchItem) (string, func(ctx context.Context) (any,
 			return "", nil, err
 		}
 		return key, func(ctx context.Context) (any, error) { return s.computeSimulate(ctx, p, req) }, nil
+	case "infer":
+		var req InferRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		p, cfg, key, err := s.inferKey(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return key, func(ctx context.Context) (any, error) { return s.computeInfer(ctx, p, req, cfg) }, nil
 	case "sweep_point":
 		var req SweepPointRequest
 		if err := decodeBytes(it.Request, &req); err != nil {
@@ -169,7 +179,7 @@ func (s *Server) planItem(it BatchItem) (string, func(ctx context.Context) (any,
 			return row, nil
 		}, nil
 	}
-	return "", nil, fmt.Errorf("op = %q must be one of analyze, design, latency, simulate, sweep_point: %w", it.Op, ErrRequest)
+	return "", nil, fmt.Errorf("op = %q must be one of analyze, design, latency, simulate, infer, sweep_point: %w", it.Op, ErrRequest)
 }
 
 // forwardItem routes one batch item to the replica owning its key,
@@ -220,8 +230,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if n := len(req.Items); n < 1 || n > s.cfg.MaxBatchItems {
-		s.writeError(w, fmt.Errorf("items must hold between 1 and %d operations, got %d: %w", s.cfg.MaxBatchItems, len(req.Items), ErrRequest))
+	if len(req.Items) < 1 {
+		s.writeError(w, fmt.Errorf("items must hold at least one operation: %w", ErrRequest))
+		return
+	}
+	// Overflow is 413, not 400: the items are not wrong, there are just
+	// too many of them — clients split the batch and retry.
+	if n := len(req.Items); n > s.cfg.MaxBatchItems {
+		s.writeError(w, fmt.Errorf("items holds %d operations, limit %d: %w", n, s.cfg.MaxBatchItems, ErrTooLarge))
 		return
 	}
 	batchRequests.Inc()

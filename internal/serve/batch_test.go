@@ -112,12 +112,19 @@ func TestBatchErrorsInBand(t *testing.T) {
 	if code, _, _ := post(t, ts, "/v1/batch", `{"items":[]}`); code != http.StatusBadRequest {
 		t.Errorf("empty items: status %d, want 400", code)
 	}
+	// Item-count overflow is 413 (split and retry), distinct from the
+	// malformed-envelope 400, and still carries the in-band error body.
 	over := New(Config{MaxBatchItems: 1})
 	ts2 := httptest.NewServer(over.Handler())
 	defer ts2.Close()
-	if code, _, _ := post(t, ts2, "/v1/batch",
-		`{"items":[{"op":"analyze","request":{"scenario":{}}},{"op":"analyze","request":{"scenario":{}}}]}`); code != http.StatusBadRequest {
-		t.Errorf("over max-batch-items: status %d, want 400", code)
+	code, _, overBody := post(t, ts2, "/v1/batch",
+		`{"items":[{"op":"analyze","request":{"scenario":{}}},{"op":"analyze","request":{"scenario":{}}}]}`)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("over max-batch-items: status %d, want 413", code)
+	}
+	var overErr map[string]string
+	if err := json.Unmarshal([]byte(overBody), &overErr); err != nil || overErr["error"] == "" {
+		t.Errorf("413 body should be an in-band error line, got %q", overBody)
 	}
 }
 

@@ -26,6 +26,10 @@ import (
 // ErrRequest reports an invalid API request; handlers map it to 400.
 var ErrRequest = errors.New("serve: invalid request")
 
+// ErrTooLarge reports a request exceeding a configured size bound (the
+// /v1/batch item cap); handlers map it to 413.
+var ErrTooLarge = errors.New("serve: request too large")
+
 // maxBodyBytes bounds request bodies; scenario + options JSON is tiny.
 const maxBodyBytes = 1 << 20
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -79,12 +80,21 @@ func (s *Server) tryForward(r *http.Request, key string, fwd *forwardSpec) (body
 // status, and X-Cache provenance (batch forwarding inspects the latter
 // for per-item errors). The peer header suppresses further forwarding
 // hops.
+//
+// The forward context derives from the inbound request context — a
+// client hang-up cancels the forward — bounded by Config.PeerTimeout,
+// which is what distinguishes "owner is stalled" from "computation is
+// slow": a stalled owner burns one PeerTimeout, trips its breaker via
+// the caller's OnFailure, and the request computes locally with most of
+// its RequestTimeout still available.
 func (s *Server) peerFetch(r *http.Request, url string, fwd *forwardSpec) ([]byte, int, string, error) {
 	payload, err := fwd.body()
 	if err != nil {
 		return nil, 0, "", err
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+fwd.endpoint, strings.NewReader(string(payload)))
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+fwd.endpoint, strings.NewReader(string(payload)))
 	if err != nil {
 		return nil, 0, "", err
 	}

@@ -1,0 +1,104 @@
+// Fuzz coverage for the request-canonicalization layer: arbitrary raw
+// bodies must never panic the decoder or the key derivation, and any
+// body that is accepted must canonicalize deterministically — the same
+// bytes always land on the same cache key. Key stability is the safety
+// property the whole cache rests on: a nondeterministic key would let
+// one request populate an entry another spelling of itself misses, or
+// worse, collide two different requests.
+package serve
+
+import (
+	"testing"
+)
+
+// fuzzServer is shared across fuzz iterations; key derivation is
+// read-only on the server (config lookups), so this is race-free.
+var fuzzServer = New(Config{})
+
+func FuzzCanonicalizeAnalyze(f *testing.F) {
+	f.Add([]byte(`{"scenario":{}}`))
+	f.Add([]byte(`{"scenario":{"n":100,"v":5},"options":{"gh":4,"g":4},"h_nodes":2}`))
+	f.Add([]byte(`{"scenario":{"pd":0.9},"rng":"philox"}`))
+	f.Add([]byte(`{"scenario":{"period_seconds":1e308}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"scenario":{"n":-1}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req AnalyzeRequest
+		if err := decodeBytes(body, &req); err != nil {
+			return
+		}
+		_, key, err := fuzzServer.analyzeKey(req)
+		if err != nil {
+			return
+		}
+		var req2 AnalyzeRequest
+		if err := decodeBytes(body, &req2); err != nil {
+			t.Fatalf("body decoded once but not twice: %v", err)
+		}
+		_, key2, err := fuzzServer.analyzeKey(req2)
+		if err != nil {
+			t.Fatalf("body keyed once but not twice: %v", err)
+		}
+		if key != key2 {
+			t.Errorf("unstable cache key for %q: %q vs %q", body, key, key2)
+		}
+	})
+}
+
+func FuzzCanonicalizeSimulate(f *testing.F) {
+	f.Add([]byte(`{"scenario":{},"trials":100,"seed":42}`))
+	f.Add([]byte(`{"scenario":{"n":60},"trials":50,"dead_frac":0.2,"comm_range":6000,"per_hop_loss":0.1,"hop_retries":2}`))
+	f.Add([]byte(`{"scenario":{},"trials":1,"rng":"legacy"}`))
+	f.Add([]byte(`{"scenario":{},"trials":-5}`))
+	f.Add([]byte(`{"trials":100}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req SimulateRequest
+		if err := decodeBytes(body, &req); err != nil {
+			return
+		}
+		_, key, err := fuzzServer.simulateKey(req)
+		if err != nil {
+			return
+		}
+		var req2 SimulateRequest
+		if err := decodeBytes(body, &req2); err != nil {
+			t.Fatalf("body decoded once but not twice: %v", err)
+		}
+		_, key2, err := fuzzServer.simulateKey(req2)
+		if err != nil {
+			t.Fatalf("body keyed once but not twice: %v", err)
+		}
+		if key != key2 {
+			t.Errorf("unstable cache key for %q: %q vs %q", body, key, key2)
+		}
+	})
+}
+
+func FuzzCanonicalizeInfer(f *testing.F) {
+	f.Add([]byte(`{"scenario":{},"trials":100,"seed":42,"dead_frac":0.2}`))
+	f.Add([]byte(`{"scenario":{"n":60},"trials":50,"p_deliver":0.9,"beacons":true,"alpha":0.01,"beta":0.01}`))
+	f.Add([]byte(`{"scenario":{},"trials":50,"beacons":false,"rng":"philox"}`))
+	f.Add([]byte(`{"scenario":{},"trials":50,"p_deliver":0}`))
+	f.Add([]byte(`{"scenario":{},"trials":50,"alpha":0.9}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req InferRequest
+		if err := decodeBytes(body, &req); err != nil {
+			return
+		}
+		_, _, key, err := fuzzServer.inferKey(req)
+		if err != nil {
+			return
+		}
+		var req2 InferRequest
+		if err := decodeBytes(body, &req2); err != nil {
+			t.Fatalf("body decoded once but not twice: %v", err)
+		}
+		_, _, key2, err := fuzzServer.inferKey(req2)
+		if err != nil {
+			t.Fatalf("body keyed once but not twice: %v", err)
+		}
+		if key != key2 {
+			t.Errorf("unstable cache key for %q: %q vs %q", body, key, key2)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestInferEndpoint runs the canonical closed-loop scenario (20%
+// Bernoulli death, 0.9 uplink delivery, beacons) through /v1/infer and
+// checks the acceptance bars the CLI and CI gates enforce.
+func TestInferEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	code, _, data := post(t, ts, "/v1/infer",
+		`{"scenario":{},"trials":150,"seed":42,"dead_frac":0.2}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var resp InferResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Precision < 0.9 || resp.Recall < 0.9 {
+		t.Errorf("precision %.4f / recall %.4f, want both >= 0.9", resp.Precision, resp.Recall)
+	}
+	if resp.MeanTTD <= 0 || resp.MeanTTD > 6 {
+		t.Errorf("mean_ttd = %.2f, want in (0, 6]", resp.MeanTTD)
+	}
+	if resp.AbsDiff > 0.05 {
+		t.Errorf("abs_diff = %.4f exceeds the documented 0.05 tolerance", resp.AbsDiff)
+	}
+	if resp.PDeliverHat < 0.88 || resp.PDeliverHat > 0.92 {
+		t.Errorf("p_deliver_hat = %.4f, want near 0.9", resp.PDeliverHat)
+	}
+	if resp.TruthDeadFrac < 0.15 || resp.TruthDeadFrac > 0.25 {
+		t.Errorf("truth_dead_frac = %.4f, want near 0.2", resp.TruthDeadFrac)
+	}
+
+	// A repeat of the same campaign is a cache hit with identical bytes.
+	code2, xc, data2 := post(t, ts, "/v1/infer",
+		`{"scenario":{},"trials":150,"seed":42,"dead_frac":0.2}`)
+	if code2 != http.StatusOK || xc != "hit" {
+		t.Errorf("repeat: status %d X-Cache %q, want 200 hit", code2, xc)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("cache hit returned different bytes")
+	}
+}
+
+// TestInferCanonicalization: spelled-out defaults share the cache entry;
+// any knob mutation (alpha, p_deliver, beacons, seed) separates it.
+func TestInferCanonicalization(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	base := `{"scenario":{},"trials":50,"seed":7,"dead_frac":0.2}`
+	spelled := `{"scenario":{},"trials":50,"seed":7,"dead_frac":0.2,"p_deliver":0.9,"beacons":true}`
+	if code, _, data := post(t, ts, "/v1/infer", base); code != http.StatusOK {
+		t.Fatalf("base: status %d: %s", code, data)
+	}
+	if code, xc, _ := post(t, ts, "/v1/infer", spelled); code != http.StatusOK || xc != "hit" {
+		t.Errorf("spelled defaults: status %d X-Cache %q, want 200 hit", code, xc)
+	}
+	for _, mutated := range []string{
+		`{"scenario":{},"trials":50,"seed":7,"dead_frac":0.2,"alpha":0.05}`,
+		`{"scenario":{},"trials":50,"seed":7,"dead_frac":0.2,"p_deliver":0.8}`,
+		`{"scenario":{},"trials":50,"seed":7,"dead_frac":0.2,"beacons":false}`,
+		`{"scenario":{},"trials":50,"seed":8,"dead_frac":0.2}`,
+		`{"scenario":{},"trials":50,"seed":7,"dead_frac":0.2,"rng":"philox"}`,
+	} {
+		if code, xc, data := post(t, ts, "/v1/infer", mutated); code != http.StatusOK || xc == "hit" {
+			t.Errorf("mutation %s: status %d X-Cache %q, want 200 miss: %s", mutated, code, xc, data)
+		}
+	}
+}
+
+func TestInferValidation(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`{"scenario":{},"trials":0}`,
+		`{"scenario":{},"trials":50,"dead_frac":1.5}`,
+		`{"scenario":{},"trials":50,"p_deliver":0}`,
+		`{"scenario":{},"trials":50,"p_deliver":1.2}`,
+		`{"scenario":{},"trials":50,"alpha":0.7}`,
+		`{"scenario":{},"trials":50,"beta":-0.1}`,
+		`{"scenario":{},"trials":50,"rng":"mt19937"}`,
+		`{"scenario":{"n":0},"trials":50}`,
+	} {
+		if code, _, data := post(t, ts, "/v1/infer", body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", body, code, data)
+		}
+	}
+}
+
+// TestInferBatchOp: the "infer" batch op renders bytes bit-identical to
+// the standalone endpoint and shares its cache entries.
+func TestInferBatchOp(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	body := `{"scenario":{},"trials":60,"seed":3,"dead_frac":0.2}`
+	code, _, standalone := post(t, ts, "/v1/infer", body)
+	if code != http.StatusOK {
+		t.Fatalf("standalone: status %d: %s", code, standalone)
+	}
+	code, xc, batched := post(t, ts, "/v1/batch",
+		fmt.Sprintf(`{"items":[{"op":"infer","request":%s}]}`, body))
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, batched)
+	}
+	if xc != "hit=1,miss=0,forward=0,error=0" {
+		t.Errorf("batch X-Cache = %q: the infer op should hit the standalone entry", xc)
+	}
+	if !bytes.Equal(standalone, batched) {
+		t.Errorf("batch line differs from standalone response:\n%s\nvs\n%s", batched, standalone)
+	}
+}
+
+// TestForwardStalledOwner: a peer that accepts connections but never
+// answers must cost one PeerTimeout, trip its breaker, and fall back to
+// local compute — not stall the request for the full RequestTimeout.
+func TestForwardStalledOwner(t *testing.T) {
+	// The stalled "replica": accepts and then holds every connection open
+	// without writing a byte until the test ends.
+	stallLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stallLn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := stallLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-stop
+				conn.Close()
+			}()
+		}
+	}()
+	stallURL := "http://" + stallLn.Addr().String()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfURL := "http://" + ln.Addr().String()
+	cfg := Config{
+		Workers: 2, QueueDepth: 16,
+		Peers: []string{selfURL, stallURL}, Self: selfURL,
+		PeerTimeout:    150 * time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+		PeerCooldown:   time.Hour,
+	}
+	if err := cfg.ValidatePeers(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// Find a body the stalled peer owns, so the forward path is exercised.
+	var body string
+	for n := 60; n < 300; n += 2 {
+		candidate := fmt.Sprintf(`{"scenario":{"n":%d}}`, n)
+		var req AnalyzeRequest
+		if err := json.Unmarshal([]byte(candidate), &req); err != nil {
+			t.Fatal(err)
+		}
+		_, key, err := s.analyzeKey(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, _, self := s.peers.Route(key); !self && m == 1 {
+			body = candidate
+			break
+		}
+	}
+	if body == "" {
+		t.Skip("hash split left the stalled peer with no sampled keys (vanishingly unlikely)")
+	}
+
+	deaths0 := peerDeaths.Value()
+	t0 := time.Now()
+	code, data, err := fleetPost(selfURL, "/v1/analyze", body)
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("status %d (a stalled owner must never surface as an error): %s", code, data)
+	}
+	// One PeerTimeout of probing plus local compute, nowhere near the
+	// 30s request deadline a stalled connection would otherwise burn.
+	if elapsed > 5*time.Second {
+		t.Errorf("request took %v: the per-forward timeout did not fire", elapsed)
+	}
+	if peerDeaths.Value() == deaths0 {
+		t.Error("stalled owner never tripped its breaker")
+	}
+	// With the breaker open, the key re-routes away from the stalled peer
+	// and repeat traffic is served without paying the timeout again.
+	t0 = time.Now()
+	if code, _, err := fleetPost(selfURL, "/v1/analyze", body); err != nil || code != http.StatusOK {
+		t.Fatalf("repeat: code %d err %v", code, err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Errorf("repeat request took %v: breaker did not keep the stalled peer out", elapsed)
+	}
+}

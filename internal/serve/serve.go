@@ -43,6 +43,7 @@ import (
 	"github.com/groupdetect/gbd/internal/experiments"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/infer"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/peer"
@@ -82,7 +83,8 @@ type Config struct {
 	// part of every cache identity, so flipping the default cannot serve
 	// results computed under the other scheme.
 	RNG field.RNGScheme
-	// MaxBatchItems bounds /v1/batch item lists (default 256).
+	// MaxBatchItems bounds /v1/batch item lists (default 1024). Requests
+	// exceeding it are rejected with 413.
 	MaxBatchItems int
 
 	// Peers is the fleet view for consistent-hash cache sharding: the
@@ -96,6 +98,11 @@ type Config struct {
 	// PeerCooldown is how long a peer marked dead stays out of the ring
 	// before a single re-admission probe (default 2s).
 	PeerCooldown time.Duration
+	// PeerTimeout bounds one peer-forward round trip (default 2s). A
+	// stalled owner — accepting connections but never answering — times
+	// out here, trips its breaker, and the request falls back to local
+	// compute instead of stalling for the full request deadline.
+	PeerTimeout time.Duration
 }
 
 // ValidatePeers checks the fleet-view configuration: with sharding
@@ -138,10 +145,13 @@ func (c Config) withDefaults() Config {
 		c.RetryBackoff = 100 * time.Millisecond
 	}
 	if c.MaxBatchItems <= 0 {
-		c.MaxBatchItems = 256
+		c.MaxBatchItems = 1024
 	}
 	if c.PeerCooldown <= 0 {
 		c.PeerCooldown = 2 * time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -185,6 +195,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/design", s.handleDesign)
 	mux.HandleFunc("POST /v1/latency", s.handleLatency)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
@@ -211,10 +222,12 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // errorStatus maps an error to its HTTP status: request/parameter
-// problems are 400, queue overflow 429, deadline or cancellation 503,
-// everything else 500.
+// problems are 400, size-bound overflow 413, queue overflow 429,
+// deadline or cancellation 503, everything else 500.
 func errorStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -222,6 +235,7 @@ func errorStatus(err error) int {
 	case errors.Is(err, ErrRequest),
 		errors.Is(err, detect.ErrParams),
 		errors.Is(err, sim.ErrConfig),
+		errors.Is(err, infer.ErrConfig),
 		errors.Is(err, experiments.ErrExperiment),
 		errors.Is(err, netsim.ErrNetwork):
 		return http.StatusBadRequest

@@ -7,6 +7,7 @@ import (
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/infer"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sensing"
 )
@@ -74,13 +75,37 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 
 	// The communication substrate: a base station at the node nearest the
 	// field center (assumed mains-powered, so it never fails), and a
-	// unit-disk network over the survivors of each period.
+	// unit-disk network over the survivors of each period. The flat
+	// single-hop uplink (PDeliver) is the alternative substrate; the two
+	// are mutually exclusive (withDefaults enforces it).
 	withDelivery := cfg.CommRange > 0 && p.N > 0
+	uplink := cfg.PDeliver > 0 && cfg.PDeliver < 1
 	var relay *relayState
 	if withDelivery {
 		relay, err = newRelayState(sensors, cfg.CommRange, bounds)
 		if err != nil {
 			return nil, err
+		}
+	}
+
+	// The failure inferencer watches the per-period report stream. It
+	// consumes no randomness — all its inputs are what the base station
+	// observed — so enabling it never perturbs the trial.
+	var eng *infer.Engine
+	var arrivedNow, allAlive []bool
+	var inferStats *InferStats
+	if cfg.Infer != nil {
+		eng, err = infer.New(p.N, *cfg.Infer)
+		if err != nil {
+			return nil, err
+		}
+		arrivedNow = make([]bool, p.N)
+		inferStats = &InferStats{}
+		if cfg.Faults == nil {
+			allAlive = make([]bool, p.N)
+			for i := range allAlive {
+				allAlive[i] = true
+			}
 		}
 	}
 
@@ -101,13 +126,44 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 	scratch.perPeriod = arrivals
 	aliveFracSum := 0.0
 
+	// Per-period link telemetry for the inferencer: frames (reports and
+	// beacons) handed to the delivery layer and frames that arrived
+	// within their generating period. Late relay arrivals still count
+	// toward K-of-M at their arrival period, but the inferencer treats
+	// them as losses — silence now, whatever arrives later.
+	genNow, delNow := 0, 0
+
+	// heard marks sensor id as observed at the base this period.
+	heard := func(id int) {
+		delNow++
+		if arrivedNow != nil {
+			arrivedNow[id] = true
+		}
+	}
+
 	// deliver routes one report generated in period through the network
-	// (or counts it directly when delivery modeling is off).
+	// (or the flat uplink, or counts it directly when delivery modeling
+	// is off).
 	deliver := func(id, period int, mask []bool) error {
 		tr.Faults.Generated++
+		genNow++
+		if uplink {
+			if rng.Float64() < cfg.PDeliver {
+				arrivals[period]++
+				tr.Faults.Delivered++
+				heard(id)
+				if detailed {
+					reported[id] = true
+				}
+			} else {
+				tr.Faults.Lost++
+			}
+			return nil
+		}
 		if !withDelivery {
 			arrivals[period]++
 			tr.Faults.Delivered++
+			heard(id)
 			if detailed {
 				reported[id] = true
 			}
@@ -124,6 +180,7 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 		case netsim.Delivered:
 			arrivals[period]++
 			tr.Faults.Delivered++
+			heard(id)
 			if detailed {
 				reported[id] = true
 			}
@@ -144,8 +201,38 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 		return nil
 	}
 
+	// beacon sends one status beacon through the same delivery substrate
+	// as reports. Beacons never count toward the K-of-M rule and are
+	// excluded from the FaultStats report accounting; they exist for the
+	// telemetry and the arrival vector.
+	beacon := func(id int, mask []bool) error {
+		genNow++
+		if uplink {
+			if rng.Float64() < cfg.PDeliver {
+				heard(id)
+			}
+			return nil
+		}
+		if !withDelivery {
+			heard(id)
+			return nil
+		}
+		d, err := relay.send(id, mask, cfg.Loss, rng)
+		if err != nil {
+			return err
+		}
+		if d.Outcome == netsim.Delivered {
+			heard(id)
+		}
+		return nil
+	}
+
 	buf := scratch.buf
 	for period := 1; period <= mission; period++ {
+		genNow, delNow = 0, 0
+		for i := range arrivedNow {
+			arrivedNow[i] = false
+		}
 		var mask []bool
 		if masks != nil {
 			mask = masks[period-1]
@@ -184,9 +271,74 @@ func runFaultyTrial(cfg Config, trial int, detailed bool) (*TrialResult, error) 
 				}
 			}
 		}
+		if cfg.Beacons {
+			for s := 0; s < p.N; s++ {
+				if mask != nil && !mask[s] {
+					continue // dead sensors beacon least of all
+				}
+				if err := beacon(s, mask); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if eng != nil {
+			if err := eng.Observe(arrivedNow, genNow, delNow); err != nil {
+				return nil, err
+			}
+			inferStats.Generated += genNow
+			inferStats.Delivered += delNow
+			truth := allAlive
+			if mask != nil {
+				truth = mask
+			}
+			c, err := eng.Score(truth)
+			if err != nil {
+				return nil, err
+			}
+			inferStats.PerPeriod.Add(c)
+			inferStats.Periods += p.N
+		}
 	}
 	scratch.buf = buf
 	tr.Faults.MeanAliveFrac = aliveFracSum / float64(mission)
+
+	// End-of-mission inference scoring: the final mask confusion, the
+	// declaration/retraction tallies, and time-to-detect for every dead
+	// sensor the engine caught at or after its true death period.
+	if eng != nil {
+		final := allAlive
+		if masks != nil {
+			final = masks[mission-1]
+		}
+		c, err := eng.Score(final)
+		if err != nil {
+			return nil, err
+		}
+		inferStats.Final = c
+		inferStats.Sensors = p.N
+		inferStats.Declarations = eng.Declarations()
+		inferStats.Retractions = eng.Retractions()
+		inferStats.InferredDead = eng.DeadCount()
+		for i := 0; i < p.N; i++ {
+			if final[i] {
+				continue
+			}
+			inferStats.TruthDead++
+			died := 0
+			for t := 0; t < mission; t++ {
+				if !masks[t][i] {
+					died = t + 1
+					break
+				}
+			}
+			if at := eng.DeclaredAt(i); died != 0 && at >= died {
+				inferStats.TTDSum += at - died + 1
+				inferStats.TTDCount++
+			}
+		}
+		infer.CountFalseAlarms(c.FP)
+		tr.Infer = inferStats
+	}
 
 	// The base evaluates the K-of-M sliding window on what actually
 	// arrived, period by period.

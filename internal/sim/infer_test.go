@@ -1,0 +1,258 @@
+package sim_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/detect"
+	"github.com/groupdetect/gbd/internal/faults"
+	"github.com/groupdetect/gbd/internal/field"
+	"github.com/groupdetect/gbd/internal/infer"
+	"github.com/groupdetect/gbd/internal/sim"
+)
+
+// canonicalInferConfig is the PR's closed-loop acceptance scenario: the
+// ONR defaults with 20% Bernoulli dead sensors, a flat pDeliver=0.9
+// uplink, per-period status beacons, and the inferencer at its default
+// SPRT risk levels. CI gates on the same scenario via gbd-faults -infer.
+func canonicalInferConfig() sim.Config {
+	return sim.Config{
+		Params:   detect.Defaults(),
+		Trials:   150,
+		Seed:     42,
+		Faults:   faults.Bernoulli{DeadFrac: 0.2},
+		PDeliver: 0.9,
+		Beacons:  true,
+		Infer:    &infer.Options{},
+	}
+}
+
+// The closed-loop acceptance criteria: on the canonical scenario the
+// inferencer reaches precision and recall >= 0.9 within the analysis
+// window, and the inferred-mask degradation point tracks the
+// ground-truth point within 0.05 detection probability (the documented
+// tolerance; see DESIGN.md §15).
+func TestInferAcceptanceCanonicalScenario(t *testing.T) {
+	cfg := canonicalInferConfig()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Infer
+	if st == nil {
+		t.Fatal("Result.Infer is nil with Infer configured")
+	}
+	if p := st.Precision(); p < 0.9 {
+		t.Errorf("precision = %v, want >= 0.9 (confusion %+v)", p, st.Final)
+	}
+	if r := st.Recall(); r < 0.9 {
+		t.Errorf("recall = %v, want >= 0.9 (confusion %+v)", r, st.Final)
+	}
+	// Bernoulli death is pre-mission, so declarations should land within
+	// the first few periods: mean time-to-detect well inside the window.
+	if ttd := st.MeanTimeToDetect(); ttd <= 0 || ttd > 6 {
+		t.Errorf("mean time-to-detect = %v periods, want in (0, 6]", ttd)
+	}
+	if st.TruthDeadFrac() < 0.15 || st.TruthDeadFrac() > 0.25 {
+		t.Errorf("truth dead frac = %v, want ~0.2", st.TruthDeadFrac())
+	}
+	// The delivery estimate must land near the injected uplink rate.
+	if hat := st.PDeliverObserved(); hat < 0.88 || hat > 0.92 {
+		t.Errorf("observed delivery = %v, want ~0.9", hat)
+	}
+
+	// Closed loop: feed the inferred knobs through the same degradation
+	// analysis as the truth knobs and require the curves to agree.
+	pair, err := infer.ClosedLoopPoint(cfg.Params,
+		st.TruthDeadFrac(), st.InferredDeadFrac(),
+		cfg.PDeliver, st.PDeliverObserved(), detect.MSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pair.AbsDiff(); d > 0.05 {
+		t.Errorf("inferred-vs-truth degradation gap = %v, want <= 0.05 (%+v)", d, pair)
+	}
+}
+
+// Inferred masks and accuracy scores must be bit-identical across worker
+// counts: every InferStats field is an integer sum, so unlike
+// MeanAliveFrac there is no association tolerance at all.
+func TestInferDeterministicAcrossWorkers(t *testing.T) {
+	for _, scheme := range []field.RNGScheme{field.SchemeLegacy, field.SchemePhilox} {
+		base := canonicalInferConfig()
+		base.Trials = 60
+		base.RNG = scheme
+		var ref *sim.Result
+		for _, w := range workerCounts() {
+			cfg := base
+			cfg.Workers = w
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", scheme, w, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			requireSameResult(t, "infer/"+scheme.String(), ref, res)
+			if !reflect.DeepEqual(ref.Infer, res.Infer) {
+				t.Errorf("%v: InferStats differ across worker counts:\n%+v\n%+v", scheme, ref.Infer, res.Infer)
+			}
+		}
+	}
+}
+
+// The two RNG schemes are different (equally valid) universes: each must
+// be internally reproducible, and the inference scoring must be sane
+// under both.
+func TestInferReproduciblePerScheme(t *testing.T) {
+	for _, scheme := range []field.RNGScheme{field.SchemeLegacy, field.SchemePhilox} {
+		cfg := canonicalInferConfig()
+		cfg.Trials = 40
+		cfg.RNG = scheme
+		a, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		b, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(a.Infer, b.Infer) {
+			t.Errorf("%v: same seed, different InferStats:\n%+v\n%+v", scheme, a.Infer, b.Infer)
+		}
+		if a.Infer.Recall() < 0.9 {
+			t.Errorf("%v: recall = %v, want >= 0.9", scheme, a.Infer.Recall())
+		}
+	}
+}
+
+// Enabling the inferencer must not perturb the trial stream: the
+// detection results of a campaign with and without Infer are identical
+// (the engine only reads what the base observed).
+func TestInferDoesNotPerturbDetection(t *testing.T) {
+	with := canonicalInferConfig()
+	with.Trials = 50
+	without := with
+	without.Infer = nil
+	a, err := sim.Run(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Detections != b.Detections || a.DetectionProb != b.DetectionProb ||
+		!reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Errorf("inference perturbed the campaign:\nwith    %+v\nwithout %+v", a, b)
+	}
+	if b.Infer != nil {
+		t.Error("Result.Infer non-nil without Infer configured")
+	}
+}
+
+// With a clean channel and no faults the inferencer must stay silent: no
+// declarations, perfect precision/recall, zero false alarms.
+func TestInferNoFaultsNoAlarms(t *testing.T) {
+	cfg := sim.Config{
+		Params:  detect.Defaults(),
+		Trials:  20,
+		Seed:    7,
+		Beacons: true,
+		Infer:   &infer.Options{},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Infer
+	if st.Declarations != 0 || st.InferredDead != 0 {
+		t.Errorf("clean campaign declared deaths: %+v", st)
+	}
+	if st.Precision() != 1 || st.Recall() != 1 {
+		t.Errorf("clean campaign: precision %v recall %v", st.Precision(), st.Recall())
+	}
+	if st.Generated == 0 || st.Generated != st.Delivered {
+		t.Errorf("clean channel telemetry: %d/%d", st.Delivered, st.Generated)
+	}
+}
+
+// Without beacons the per-sensor report rate is p_indi (~0.004 at the
+// defaults): silence carries almost no evidence and nothing should cross
+// the SPRT threshold inside one window — the degenerate case that
+// motivates beacons.
+func TestInferWithoutBeaconsStaysQuiet(t *testing.T) {
+	cfg := sim.Config{
+		Params: detect.Defaults(),
+		Trials: 10,
+		Seed:   3,
+		Faults: faults.Bernoulli{DeadFrac: 0.2},
+		Infer:  &infer.Options{},
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infer.Declarations != 0 {
+		t.Errorf("declarations = %d from detection reports alone in one window", res.Infer.Declarations)
+	}
+	if res.Infer.Recall() != 0 {
+		t.Errorf("recall = %v, want 0 (nothing declarable)", res.Infer.Recall())
+	}
+}
+
+// Config validation: the delivery models are mutually exclusive, the
+// delivery probability must be a probability, and inferencer options are
+// validated at campaign setup.
+func TestInferConfigValidation(t *testing.T) {
+	base := sim.Config{Params: detect.Defaults(), Trials: 1}
+
+	cfg := base
+	cfg.PDeliver = 1.5
+	if _, err := sim.Run(cfg); !errors.Is(err, sim.ErrConfig) {
+		t.Errorf("PDeliver=1.5: %v, want ErrConfig", err)
+	}
+
+	cfg = base
+	cfg.PDeliver = 0.9
+	cfg.CommRange = 6000
+	if _, err := sim.Run(cfg); !errors.Is(err, sim.ErrConfig) {
+		t.Errorf("PDeliver+CommRange: %v, want ErrConfig", err)
+	}
+
+	cfg = base
+	cfg.Infer = &infer.Options{Alpha: 0.9}
+	if _, err := sim.Run(cfg); !errors.Is(err, sim.ErrConfig) {
+		t.Errorf("bad Alpha: %v, want ErrConfig", err)
+	}
+
+	// An explicit PDeliver of exactly 1 is the certain-delivery baseline.
+	cfg = base
+	cfg.PDeliver = 1
+	cfg.Beacons = true
+	cfg.Infer = &infer.Options{}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Errorf("PDeliver=1: %v", err)
+	}
+}
+
+// RunTrial carries the per-trial inference scoring for the examples and
+// experiments.
+func TestRunTrialCarriesInferStats(t *testing.T) {
+	cfg := canonicalInferConfig()
+	tr, err := sim.RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Infer == nil {
+		t.Fatal("TrialResult.Infer is nil with Infer configured")
+	}
+	if tr.Infer.Sensors != cfg.Params.N {
+		t.Errorf("scored %d sensors, want %d", tr.Infer.Sensors, cfg.Params.N)
+	}
+	if tr.Infer.Periods != cfg.Params.N*cfg.Params.M {
+		t.Errorf("scored %d sensor-periods, want %d", tr.Infer.Periods, cfg.Params.N*cfg.Params.M)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/geom"
+	"github.com/groupdetect/gbd/internal/infer"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/sensing"
 	"github.com/groupdetect/gbd/internal/stats"
@@ -109,6 +110,29 @@ type Config struct {
 	// fields default to a reliable baseline: PerHopDelivery 1, PerHop 10s,
 	// no retries, Budget = one sensing period.
 	Loss netsim.LossModel
+	// PDeliver, when in (0, 1), models a single-hop lossy uplink: every
+	// frame (detection report or beacon) independently reaches the base
+	// with this probability, and losses are visible to the link-layer
+	// telemetry. It is the flat-delivery mirror of the analytical
+	// degradation knob and is mutually exclusive with CommRange, which
+	// models delivery hop by hop instead. 0 (or 1) keeps delivery certain.
+	PDeliver float64
+	// Beacons, when true, makes every alive sensor emit one per-period
+	// status beacon through the delivery layer. Beacons never count
+	// toward the K-of-M detection rule; they exist so the failure
+	// inferencer observes every sensor at a usable rate (the paper's
+	// per-sensor detection probability p_indi is far too small to infer
+	// from detection reports alone in one window — see infer.
+	// ExpectedReportProb).
+	Beacons bool
+	// Infer, when non-nil, runs the failure-inference engine over the
+	// per-period report stream of every trial and aggregates its
+	// accuracy against the injected ground truth into Result.Infer. A
+	// zero ReportProb is resolved to infer.ExpectedReportProb(Params,
+	// Beacons). The engine only reads the stream — it never perturbs the
+	// trial's randomness, so a campaign with Infer set reports the same
+	// detection results as one without.
+	Infer *infer.Options
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -165,11 +189,33 @@ func (c Config) withDefaults() (Config, error) {
 			return c, err
 		}
 	}
+	if c.PDeliver < 0 || c.PDeliver > 1 || math.IsNaN(c.PDeliver) {
+		return c, fmt.Errorf("delivery probability %v must be in [0, 1]: %w", c.PDeliver, ErrConfig)
+	}
+	if c.PDeliver > 0 && c.PDeliver < 1 && c.CommRange > 0 {
+		return c, fmt.Errorf("PDeliver and CommRange are mutually exclusive delivery models: %w", ErrConfig)
+	}
+	if c.Infer != nil {
+		// Resolve against a copy: the caller's Options must not mutate.
+		o := *c.Infer
+		if o.ReportProb == 0 {
+			o.ReportProb = infer.ExpectedReportProb(c.Params, c.Beacons)
+		}
+		if err := o.Validate(); err != nil {
+			return c, fmt.Errorf("%w: %w", ErrConfig, err)
+		}
+		c.Infer = &o
+	}
 	return c, nil
 }
 
-// faulty reports whether the fault-injection trial path is needed.
-func (c Config) faulty() bool { return c.Faults != nil || c.CommRange > 0 }
+// faulty reports whether the fault-injection trial path is needed: fault
+// masks, any delivery model (multi-hop or flat uplink), beacon traffic,
+// or the failure inferencer all ride the per-period report-stream loop.
+func (c Config) faulty() bool {
+	return c.Faults != nil || c.CommRange > 0 || c.Beacons || c.Infer != nil ||
+		(c.PDeliver > 0 && c.PDeliver < 1)
+}
 
 // batchable reports whether aggregate trials can run on the SoA batch
 // engine: the counter-based scheme (per-trial stream reset must be O(1)
@@ -199,6 +245,91 @@ type Result struct {
 	// Faults summarizes the fault-injection accounting; it is zero when
 	// neither Faults nor CommRange was configured.
 	Faults FaultStats
+	// Infer scores the failure-inference engine against the injected
+	// ground truth; nil unless Config.Infer was set.
+	Infer *InferStats
+}
+
+// InferStats aggregates the failure inferencer's accuracy across a
+// campaign (or, on TrialResult, one trial). Every field is an integer
+// sum — the derived ratios are computed on demand — so aggregation is
+// associative and campaign results are bit-identical at any worker
+// count, the same contract the rest of Result keeps.
+type InferStats struct {
+	// Sensors counts scored sensor-trials (N per trial); Periods counts
+	// scored sensor-periods (N*mission per trial).
+	Sensors, Periods int
+	// Final is the end-of-mission confusion of the inferred mask against
+	// the ground-truth mask, summed over trials; PerPeriod accumulates
+	// the same comparison after every observed period.
+	Final, PerPeriod infer.Confusion
+	// Declarations and Retractions count engine state transitions.
+	Declarations, Retractions int
+	// TTDSum sums, over the TTDCount dead sensors that were declared at
+	// or after their true death period, declaredAt - diedAt + 1 periods.
+	TTDSum, TTDCount int
+	// InferredDead and TruthDead count end-of-mission dead sensors by
+	// the engine's belief and by ground truth.
+	InferredDead, TruthDead int
+	// Generated and Delivered are the uplink telemetry the engine
+	// observed: frames (reports and beacons) handed to the delivery
+	// layer and frames that arrived within their generating period.
+	Generated, Delivered int
+}
+
+// Precision and Recall score the end-of-mission mask with "dead" as the
+// positive class.
+func (s InferStats) Precision() float64 { return s.Final.Precision() }
+func (s InferStats) Recall() float64    { return s.Final.Recall() }
+
+// MeanTimeToDetect is the average number of periods from a sensor's true
+// death to its declaration, over dead sensors that were declared. 0 when
+// no death was detected.
+func (s InferStats) MeanTimeToDetect() float64 {
+	if s.TTDCount == 0 {
+		return 0
+	}
+	return float64(s.TTDSum) / float64(s.TTDCount)
+}
+
+// InferredDeadFrac and TruthDeadFrac are the end-of-mission dead
+// fractions by belief and by ground truth. 0 when nothing was scored.
+func (s InferStats) InferredDeadFrac() float64 {
+	if s.Sensors == 0 {
+		return 0
+	}
+	return float64(s.InferredDead) / float64(s.Sensors)
+}
+
+func (s InferStats) TruthDeadFrac() float64 {
+	if s.Sensors == 0 {
+		return 0
+	}
+	return float64(s.TruthDead) / float64(s.Sensors)
+}
+
+// PDeliverObserved is the delivered fraction of the uplink telemetry the
+// engine saw. 1 when nothing was generated.
+func (s InferStats) PDeliverObserved() float64 {
+	if s.Generated == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
+
+func (s *InferStats) merge(other InferStats) {
+	s.Sensors += other.Sensors
+	s.Periods += other.Periods
+	s.Final.Add(other.Final)
+	s.PerPeriod.Add(other.PerPeriod)
+	s.Declarations += other.Declarations
+	s.Retractions += other.Retractions
+	s.TTDSum += other.TTDSum
+	s.TTDCount += other.TTDCount
+	s.InferredDead += other.InferredDead
+	s.TruthDead += other.TruthDead
+	s.Generated += other.Generated
+	s.Delivered += other.Delivered
 }
 
 // FaultStats aggregates what the fault-injection layer did to the report
@@ -255,6 +386,9 @@ type TrialResult struct {
 	// Faults carries the per-trial fault accounting (zero without faults
 	// or delivery modeling).
 	Faults FaultStats
+	// Infer carries the trial's failure-inference scoring; nil unless
+	// Config.Infer was set.
+	Infer *InferStats
 }
 
 // partial is one worker's share of a campaign's aggregation.
@@ -263,6 +397,7 @@ type partial struct {
 	hist       stats.Histogram
 	latency    stats.Histogram
 	faults     FaultStats
+	infer      InferStats
 	err        error
 }
 
@@ -309,6 +444,9 @@ func runWorker(ctx context.Context, cfg Config, w, workers int, p *partial) {
 			return
 		}
 		p.faults.merge(tr.Faults)
+		if tr.Infer != nil {
+			p.infer.merge(*tr.Infer)
+		}
 	}
 }
 
@@ -351,6 +489,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Trials: cfg.Trials}
+	if cfg.Infer != nil {
+		res.Infer = &InferStats{}
+	}
 	for i := range parts {
 		if parts[i].err != nil {
 			return nil, parts[i].err
@@ -359,6 +500,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		res.Reports.Merge(&parts[i].hist)
 		res.Latency.Merge(&parts[i].latency)
 		res.Faults.merge(parts[i].faults)
+		if res.Infer != nil {
+			res.Infer.merge(parts[i].infer)
+		}
 	}
 	// Per-trial mean alive fractions were summed during merging.
 	res.Faults.MeanAliveFrac /= float64(res.Trials)
