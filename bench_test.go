@@ -606,3 +606,25 @@ func BenchmarkCoordinatorFanoutDegraded(b *testing.B) {
 	workers[2] = p.URL()
 	coordinatorBench(b, workers)
 }
+
+// BenchmarkPlacementGreedy measures one full lazy-greedy placement solve —
+// panel precompute, heap-driven selection, and the placed-vs-uniform
+// comparison — on a small instance (20 sensors, 12x12 grid, 200 trials).
+// The PR-10 headline for the deployment engine; gbd-bench tracks the same
+// body in BENCH_PR10.json.
+func BenchmarkPlacementGreedy(b *testing.B) {
+	cfg := gbd.PlacementConfig{
+		Base:     detect.Defaults().WithN(20),
+		GridCols: 12, GridRows: 12,
+		Trials:  200,
+		Workers: 1,
+		RNG:     gbd.SchemePhilox,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := gbd.Place(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"github.com/groupdetect/gbd/internal/geom"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/obs"
+	"github.com/groupdetect/gbd/internal/placement"
 	"github.com/groupdetect/gbd/internal/serve"
 	"github.com/groupdetect/gbd/internal/sim"
 )
@@ -80,6 +81,7 @@ var benchmarks = []struct {
 	{"PeerForwardedHit", benchPeerForwardedHit},
 	{"CoordinatorFanout", benchCoordinatorFanout},
 	{"CoordinatorFanoutDegraded", benchCoordinatorFanoutDegraded},
+	{"PlacementGreedy", benchPlacementGreedy},
 }
 
 func run(args []string) (err error) {
@@ -491,6 +493,28 @@ func benchCommCheck(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := net.Delivery(0, 10*time.Second, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPlacementGreedy measures one full lazy-greedy placement solve —
+// panel precompute, heap-driven selection, and the placed-vs-uniform
+// comparison — on a small instance (20 sensors, 12x12 grid, 200 trials)
+// sized so an iteration is milliseconds, not seconds. The PR-10 headline
+// for the deployment engine.
+func benchPlacementGreedy(b *testing.B) {
+	cfg := placement.Config{
+		Base:     detect.Defaults().WithN(20),
+		GridCols: 12, GridRows: 12,
+		Trials:  200,
+		Workers: 1,
+		RNG:     field.SchemePhilox,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := placement.Place(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

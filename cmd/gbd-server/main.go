@@ -12,6 +12,9 @@
 //	POST /v1/infer                closed-loop failure inference: score
 //	                              the SPRT dead-sensor inferencer and
 //	                              its degradation estimate vs truth
+//	POST /v1/place                optimal deployment: lazy-greedy
+//	                              sensor placement on a candidate grid
+//	                              vs the uniform-random baseline
 //	POST /v1/sweep                parameter sweep streamed as NDJSON
 //	POST /v1/batch                many operations in one request, one
 //	                              NDJSON line per item in input order

@@ -230,8 +230,8 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 17 {
-		t.Fatalf("tables = %d, want 17", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("tables = %d, want 18", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tbl := range tables {

@@ -30,6 +30,7 @@ func Runners() []Runner {
 		{"degradation", Degradation},
 		{"lossdeg", LossDegradation},
 		{"inference", InferenceAccuracy},
+		{"placement", Placement},
 	}
 }
 

@@ -149,7 +149,7 @@ func TestRunnersCoverEveryExperiment(t *testing.T) {
 	want := []string{
 		"fig8", "fig9a", "fig9b", "fig9c", "timing", "extension", "kmin",
 		"boundary", "comm", "latency", "tapproach", "coverage", "endtoend",
-		"sensitivity", "degradation", "lossdeg", "inference",
+		"sensitivity", "degradation", "lossdeg", "inference", "placement",
 	}
 	rs := Runners()
 	if len(rs) != len(want) {

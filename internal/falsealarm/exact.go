@@ -1,0 +1,170 @@
+// The exact §6 bound: the union bound in HorizonUnionBound over-counts
+// overlapping windows, so KMin can demand a higher k than the model really
+// needs. HorizonExact evaluates the scan statistic exactly by embedding
+// the sliding window in a Markov chain whose state is the ordered tuple of
+// the last M-1 per-period report counts, with every tuple reachable only
+// while all windows so far stayed below k. The live tuples therefore sum
+// to at most k-1, so the state space is the compositions of {0..k-1} into
+// M-1 parts — C(M+k-2, M-1) states — rather than the naive k^(M-1).
+package falsealarm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// ErrIntractable reports that the exact scan-statistic chain at these
+// parameters exceeds the state/work bounds; callers fall back to the
+// union bound (which is always an upper envelope of the exact value).
+var ErrIntractable = errors.New("falsealarm: exact horizon computation intractable")
+
+// Tractability bounds for the exact chain: the state count C(M+k-2, M-1)
+// and the total transition work horizon * states * k.
+const (
+	maxExactStates = 2_000_000
+	maxExactWork   = 2e9
+)
+
+// exactStateCount returns C(M+k-2, M-1) — the number of ordered
+// nonnegative (M-1)-tuples summing to at most k-1 — or -1 when it
+// overflows maxExactStates.
+func exactStateCount(m, k int) int {
+	count := 1.0
+	for i := 1; i <= m-1; i++ {
+		count = count * float64(k-1+i) / float64(i)
+		if count > maxExactStates {
+			return -1
+		}
+	}
+	return int(math.Round(count))
+}
+
+// HorizonExact returns the exact probability that some window of M
+// consecutive periods within `horizon` periods accumulates at least k
+// false reports, under the model's independent Bernoulli(Pf) reports. It
+// is the quantity HorizonUnionBound upper-bounds; the paper's §6 asks for
+// the k this exact value certifies.
+func (m Model) HorizonExact(k, horizon int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("k = %d must be >= 1: %w", k, ErrModel)
+	}
+	if horizon < m.M {
+		return 0, fmt.Errorf("horizon %d shorter than window %d: %w", horizon, m.M, ErrModel)
+	}
+	if k > m.N*m.M {
+		return 0, nil // a window cannot hold more than N*M reports
+	}
+	states := exactStateCount(m.M, k)
+	if states < 0 || k-1 > math.MaxUint16 ||
+		float64(horizon)*float64(states)*float64(k) > maxExactWork {
+		return 0, fmt.Errorf("M = %d, k = %d, horizon = %d: %w", m.M, k, horizon, ErrIntractable)
+	}
+
+	// Per-period count pmf for counts that keep the window alive; the
+	// missing mass (a single period reaching k alone) absorbs immediately.
+	pmf := make([]float64, k)
+	for c := 0; c < k && c <= m.N; c++ {
+		pmf[c] = numeric.BinomialPMF(m.N, c, m.Pf)
+	}
+
+	// Enumerate live states: ordered (M-1)-tuples with sum <= k-1,
+	// generated in lexicographic order so state indexing is deterministic.
+	width := m.M - 1
+	tuples := make([]uint16, 0, states*width)
+	sums := make([]int, 0, states)
+	index := make(map[string]int, states)
+	var gen func(pos, sum int, cur []uint16)
+	cur := make([]uint16, width)
+	gen = func(pos, sum int, cur []uint16) {
+		if pos == width {
+			index[string(encodeTuple(cur))] = len(sums)
+			tuples = append(tuples, cur...)
+			sums = append(sums, sum)
+			return
+		}
+		for c := 0; sum+c <= k-1; c++ {
+			cur[pos] = uint16(c)
+			gen(pos+1, sum+c, cur)
+		}
+	}
+	gen(0, 0, cur)
+
+	// Transition table: next[si*k + c] is the state after observing count
+	// c from state si (only c <= k-1-sums[si] entries are ever read).
+	next := make([]int32, len(sums)*k)
+	scratch := make([]uint16, width)
+	for si := range sums {
+		tup := tuples[si*width : (si+1)*width]
+		for c := 0; sums[si]+c <= k-1; c++ {
+			if width > 0 {
+				copy(scratch, tup[1:])
+				scratch[width-1] = uint16(c)
+			}
+			next[si*k+c] = int32(index[string(encodeTuple(scratch))])
+		}
+	}
+
+	// Evolve the live mass over the horizon; absorbed mass (some window
+	// reached k) is 1 minus whatever stays live.
+	live := make([]float64, len(sums))
+	buf := make([]float64, len(sums))
+	live[index[string(encodeTuple(make([]uint16, width)))]] = 1
+	for step := 0; step < horizon; step++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for si, mass := range live {
+			if mass == 0 {
+				continue
+			}
+			for c := 0; sums[si]+c <= k-1; c++ {
+				buf[next[si*k+c]] += mass * pmf[c]
+			}
+		}
+		live, buf = buf, live
+	}
+	total := 0.0
+	for _, mass := range live {
+		total += mass
+	}
+	return numeric.Clamp01(1 - total), nil
+}
+
+// encodeTuple packs a state tuple into the bytes used as its map key.
+func encodeTuple(tup []uint16) []byte {
+	b := make([]byte, 2*len(tup))
+	for i, v := range tup {
+		b[2*i] = byte(v)
+		b[2*i+1] = byte(v >> 8)
+	}
+	return b
+}
+
+// KMinExact returns the smallest k whose exact system false alarm
+// probability over the horizon is at most budget — the §6 "exact lower
+// bound of k". It never exceeds KMin (the union bound over-counts), so
+// the search walks down from the union-bound threshold, which also keeps
+// the chain sizes bounded by the first (largest) candidate.
+func KMinExact(m Model, horizon int, budget float64) (int, error) {
+	k, err := KMin(m, horizon, budget)
+	if err != nil {
+		return 0, err
+	}
+	for k > 1 {
+		p, err := m.HorizonExact(k-1, horizon)
+		if err != nil {
+			return 0, err
+		}
+		if p > budget {
+			break
+		}
+		k--
+	}
+	return k, nil
+}

@@ -1,0 +1,157 @@
+package falsealarm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/groupdetect/gbd/internal/numeric"
+)
+
+// bruteHorizon enumerates every per-period count sequence of a tiny model
+// and sums the probability of sequences where some M-window reaches k.
+func bruteHorizon(m Model, k, horizon int) float64 {
+	counts := make([]int, horizon)
+	var walk func(period int, prob float64) float64
+	walk = func(period int, prob float64) float64 {
+		if period == horizon {
+			for start := 0; start+m.M <= horizon; start++ {
+				sum := 0
+				for q := start; q < start+m.M; q++ {
+					sum += counts[q]
+				}
+				if sum >= k {
+					return prob
+				}
+			}
+			return 0
+		}
+		total := 0.0
+		for c := 0; c <= m.N; c++ {
+			counts[period] = c
+			total += walk(period+1, prob*numeric.BinomialPMF(m.N, c, m.Pf))
+		}
+		return total
+	}
+	return walk(0, 1)
+}
+
+func TestHorizonExactMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		m      Model
+		k, hzn int
+	}{
+		{Model{N: 2, Pf: 0.3, M: 2}, 2, 4},
+		{Model{N: 2, Pf: 0.3, M: 2}, 3, 5},
+		{Model{N: 3, Pf: 0.15, M: 3}, 3, 6},
+		{Model{N: 1, Pf: 0.5, M: 2}, 2, 5},
+		{Model{N: 2, Pf: 0.1, M: 1}, 2, 4},
+	}
+	for _, tc := range cases {
+		got, err := tc.m.HorizonExact(tc.k, tc.hzn)
+		if err != nil {
+			t.Fatalf("HorizonExact(%+v, k=%d, h=%d): %v", tc.m, tc.k, tc.hzn, err)
+		}
+		want := bruteHorizon(tc.m, tc.k, tc.hzn)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("HorizonExact(%+v, k=%d, h=%d) = %.15g, brute force %.15g",
+				tc.m, tc.k, tc.hzn, got, want)
+		}
+	}
+}
+
+func TestHorizonExactSingleWindow(t *testing.T) {
+	// horizon == M: exactly one window, so the exact value is the binomial
+	// tail WindowTail computes.
+	m := Model{N: 4, Pf: 0.2, M: 3}
+	got, err := m.HorizonExact(3, m.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.WindowTail(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-window exact = %.15g, WindowTail = %.15g", got, want)
+	}
+}
+
+func TestHorizonExactBelowUnionBound(t *testing.T) {
+	m := Model{N: 50, Pf: 1e-3, M: 5}
+	for k := 1; k <= 4; k++ {
+		exact, err := m.HorizonExact(k, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if union := m.HorizonUnionBound(k, 200); exact > union+1e-12 {
+			t.Errorf("k=%d: exact %.6g exceeds union bound %.6g", k, exact, union)
+		}
+	}
+}
+
+func TestHorizonExactK1(t *testing.T) {
+	// k=1: any report anywhere triggers; closed form 1 - (1-Pf)^(N*horizon).
+	m := Model{N: 10, Pf: 1e-3, M: 4}
+	got, err := m.HorizonExact(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-m.Pf, float64(m.N*100))
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("k=1 exact = %.15g, closed form %.15g", got, want)
+	}
+}
+
+func TestKMinExact(t *testing.T) {
+	m := Model{N: 120, Pf: 1e-4, M: 20}
+	kU, err := KMin(m, 1440, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kE, err := KMinExact(m, 1440, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kE > kU {
+		t.Errorf("KMinExact = %d exceeds union-bound KMin = %d", kE, kU)
+	}
+	if kE < 1 {
+		t.Errorf("KMinExact = %d", kE)
+	}
+	// The returned k must meet the budget exactly, and k-1 must not.
+	p, err := m.HorizonExact(kE, 1440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("HorizonExact(KMinExact=%d) = %.6g exceeds budget", kE, p)
+	}
+	if kE > 1 {
+		p, err := m.HorizonExact(kE-1, 1440)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 0.01 {
+			t.Errorf("HorizonExact(%d) = %.6g also meets budget; KMinExact not minimal", kE-1, p)
+		}
+	}
+}
+
+func TestKMinExactZeroSensors(t *testing.T) {
+	k, err := KMinExact(Model{N: 0, Pf: 0.5, M: 3}, 10, 0.01)
+	if err != nil || k != 1 {
+		t.Fatalf("KMinExact(N=0) = %d, %v; want 1, nil", k, err)
+	}
+}
+
+func TestHorizonExactErrors(t *testing.T) {
+	m := Model{N: 2, Pf: 0.1, M: 3}
+	if _, err := m.HorizonExact(0, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := m.HorizonExact(2, 2); err == nil {
+		t.Error("horizon < M accepted")
+	}
+	// Huge k at a wide window blows the state bound.
+	wide := Model{N: 10000, Pf: 0.5, M: 20}
+	if _, err := wide.HorizonExact(500, 100); !errors.Is(err, ErrIntractable) {
+		t.Errorf("want ErrIntractable, got %v", err)
+	}
+}

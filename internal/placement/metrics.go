@@ -1,0 +1,15 @@
+package placement
+
+import "github.com/groupdetect/gbd/internal/obs"
+
+// Counters are accumulated locally during a run and published once at the
+// end, so the greedy hot loop performs no atomic traffic and instrumented
+// runs stay bit-identical to uninstrumented ones.
+var (
+	// evalsTotal counts marginal-gain evaluations across all runs;
+	// lazyHitsTotal counts the evaluations the lazy priority queue
+	// avoided. Their ratio is the lazy speedup the DESIGN.md §16
+	// architecture promises.
+	evalsTotal    = obs.Default.Counter("placement.evals")
+	lazyHitsTotal = obs.Default.Counter("placement.lazy_hits")
+)

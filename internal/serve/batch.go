@@ -155,6 +155,16 @@ func (s *Server) planItem(it BatchItem) (string, func(ctx context.Context) (any,
 			return "", nil, err
 		}
 		return key, func(ctx context.Context) (any, error) { return s.computeInfer(ctx, p, req, cfg) }, nil
+	case "place":
+		var req PlaceRequest
+		if err := decodeBytes(it.Request, &req); err != nil {
+			return "", nil, err
+		}
+		cfg, classes, key, err := s.placeKey(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return key, func(ctx context.Context) (any, error) { return s.computePlace(ctx, cfg, classes) }, nil
 	case "sweep_point":
 		var req SweepPointRequest
 		if err := decodeBytes(it.Request, &req); err != nil {
@@ -179,7 +189,7 @@ func (s *Server) planItem(it BatchItem) (string, func(ctx context.Context) (any,
 			return row, nil
 		}, nil
 	}
-	return "", nil, fmt.Errorf("op = %q must be one of analyze, design, latency, simulate, infer, sweep_point: %w", it.Op, ErrRequest)
+	return "", nil, fmt.Errorf("op = %q must be one of analyze, design, latency, simulate, infer, place, sweep_point: %w", it.Op, ErrRequest)
 }
 
 // forwardItem routes one batch item to the replica owning its key,

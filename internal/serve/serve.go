@@ -41,12 +41,14 @@ import (
 	gbd "github.com/groupdetect/gbd"
 	"github.com/groupdetect/gbd/internal/detect"
 	"github.com/groupdetect/gbd/internal/experiments"
+	"github.com/groupdetect/gbd/internal/falsealarm"
 	"github.com/groupdetect/gbd/internal/faults"
 	"github.com/groupdetect/gbd/internal/field"
 	"github.com/groupdetect/gbd/internal/infer"
 	"github.com/groupdetect/gbd/internal/netsim"
 	"github.com/groupdetect/gbd/internal/obs"
 	"github.com/groupdetect/gbd/internal/peer"
+	"github.com/groupdetect/gbd/internal/placement"
 	"github.com/groupdetect/gbd/internal/sim"
 )
 
@@ -196,6 +198,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/latency", s.handleLatency)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("POST /v1/place", s.handlePlace)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
@@ -237,7 +240,8 @@ func errorStatus(err error) int {
 		errors.Is(err, sim.ErrConfig),
 		errors.Is(err, infer.ErrConfig),
 		errors.Is(err, experiments.ErrExperiment),
-		errors.Is(err, netsim.ErrNetwork):
+		errors.Is(err, netsim.ErrNetwork),
+		errors.Is(err, placement.ErrConfig):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -512,6 +516,10 @@ type DesignResponse struct {
 	FalseAlarmP   float64      `json:"false_alarm_p"`
 	Budget        float64      `json:"budget"`
 	Horizon       int          `json:"horizon"`
+	// KMinExact is the §6 exact scan-statistic lower bound on K for the
+	// sized fleet — never larger than K, which is sized from the union
+	// bound. 0 when the exact chain exceeds its tractability guard.
+	KMinExact int `json:"k_min_exact"`
 }
 
 // designCanonical omits the scenario's N and K: they are outputs of the
@@ -577,12 +585,20 @@ func (s *Server) computeDesign(ctx context.Context, p detect.Params, req DesignR
 	if err != nil {
 		return nil, err
 	}
-	return &DesignResponse{
+	resp := &DesignResponse{
 		Scenario: echoParams(p), K: k, N: n,
 		DetectionProb: ana.DetectionProb,
 		TargetProb:    req.TargetProb, FalseAlarmP: req.FalseAlarmP,
 		Budget: req.Budget, Horizon: req.Horizon,
-	}, nil
+	}
+	// The §6 exact bound rides along: tighter than the union-bound K when
+	// the scan-statistic chain is tractable, reported as 0 otherwise.
+	if kExact, err := gbd.MinKExact(p, req.FalseAlarmP, req.Horizon, req.Budget); err == nil {
+		resp.KMinExact = kExact
+	} else if !errors.Is(err, falsealarm.ErrIntractable) {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // designKey resolves a DesignRequest's defaults (mutating it) and

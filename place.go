@@ -1,0 +1,48 @@
+package gbd
+
+import (
+	"context"
+
+	"github.com/groupdetect/gbd/internal/falsealarm"
+	"github.com/groupdetect/gbd/internal/placement"
+)
+
+// PlacementConfig describes an optimal-deployment problem: the scenario,
+// the candidate grid, the Monte Carlo panel and the (possibly
+// heterogeneous) sensor budget. See internal/placement.Config.
+type PlacementConfig = placement.Config
+
+// PlacementClass is one homogeneous sub-fleet to place: Count sensors
+// sharing a sensing range Rs and detection probability Pd.
+type PlacementClass = placement.Class
+
+// PlacementResult is a solved placement: the layout in greedy selection
+// order, the placed-vs-uniform comparison, and the §6 report thresholds
+// for the placed fleet.
+type PlacementResult = placement.Result
+
+// Place answers "where do my N sensors go": lazy-greedy maximization of
+// the K-of-M detection probability over a candidate grid, evaluated by a
+// deterministic Monte Carlo estimator that is bit-identical at any worker
+// count. The result pairs the placed layout against the paper's
+// uniform-random deployment baseline at equal N.
+func Place(cfg PlacementConfig) (*PlacementResult, error) {
+	return placement.Place(cfg)
+}
+
+// PlaceCtx is Place under a context: cancellation unwinds the run early
+// with ctx.Err(); a run that completes is bit-identical to Place.
+func PlaceCtx(ctx context.Context, cfg PlacementConfig) (*PlacementResult, error) {
+	return placement.PlaceCtx(ctx, cfg)
+}
+
+// MinKExact is MinK with the union bound replaced by the exact
+// scan-statistic false alarm probability (a Markov-chain embedding of the
+// sliding K-of-M window): the smallest K whose exact system-level false
+// alarm probability over the horizon stays within budget. It is never
+// larger than MinK. Returns falsealarm.ErrIntractable when the chain's
+// state space exceeds the tractability guard.
+func MinKExact(p Params, falseAlarmP float64, horizon int, budget float64) (int, error) {
+	m := falsealarm.Model{N: p.N, Pf: falseAlarmP, M: p.M}
+	return falsealarm.KMinExact(m, horizon, budget)
+}

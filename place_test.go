@@ -1,0 +1,71 @@
+package gbd_test
+
+import (
+	"context"
+	"testing"
+
+	gbd "github.com/groupdetect/gbd"
+)
+
+func TestPlaceFacade(t *testing.T) {
+	p := gbd.Defaults()
+	p.N = 20
+	res, err := gbd.Place(gbd.PlacementConfig{
+		Base:     p,
+		GridCols: 12, GridRows: 12,
+		Trials: 300,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sensors) != 20 {
+		t.Fatalf("placed %d sensors, want 20", len(res.Sensors))
+	}
+	if res.VsUniform.PlacedProb < res.VsUniform.UniformProb {
+		t.Errorf("placed %.4f < uniform %.4f", res.VsUniform.PlacedProb, res.VsUniform.UniformProb)
+	}
+	if res.KMin < 1 || res.KMinExact < 1 {
+		t.Errorf("k_min=%d k_min_exact=%d", res.KMin, res.KMinExact)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := gbd.PlaceCtx(ctx, gbd.PlacementConfig{Base: p}); err == nil {
+		t.Error("PlaceCtx ignored a canceled context")
+	}
+}
+
+func TestMinKExactFacade(t *testing.T) {
+	p := gbd.Defaults()
+	kU, err := gbd.MinK(p, 1e-4, 1440, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kE, err := gbd.MinKExact(p, 1e-4, 1440, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kE < 1 || kE > kU {
+		t.Errorf("MinKExact = %d, MinK = %d; want 1 <= exact <= union", kE, kU)
+	}
+}
+
+func TestPlaceMixedClasses(t *testing.T) {
+	res, err := gbd.Place(gbd.PlacementConfig{
+		Base: gbd.Defaults(),
+		Classes: []gbd.PlacementClass{
+			{Count: 6, Rs: 1000, Pd: 0.9},
+			{Count: 3, Rs: 2000, Pd: 0.7},
+		},
+		GridCols: 10, GridRows: 10,
+		Trials: 200,
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sensors) != 9 {
+		t.Fatalf("placed %d sensors, want 9", len(res.Sensors))
+	}
+}
